@@ -1,0 +1,74 @@
+"""Figures 1-3 — the SIMD data-layout story, made executable.
+
+* Fig. 1: advancing along x loads contiguous lanes — one instruction per
+  vector (the instruction-counting machine shows load_contiguous == 1);
+* Fig. 2: advancing along u_z needs per-lane gathers — width
+  micro-operations per vector;
+* Fig. 3: the LAT in-register transpose — n*log2(n) shuffles (64 for the
+  16x16 SVE case), after which the contiguous path applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd import (
+    SimdMachine,
+    lat_shuffle_count,
+    register_transpose,
+    transpose_tile_with_machine,
+)
+
+from benchmarks.conftest import record, run_report
+
+
+def test_fig123_instruction_accounting(benchmark):
+    """Regenerate the figures' instruction-count content."""
+    def _report():
+        n = 16
+        tile = np.arange(n * n, dtype=np.float32).reshape(n, n)
+
+        # Fig. 1: one contiguous load brings n lanes
+        m1 = SimdMachine(width=n)
+        m1.load(tile, 0)
+        fig1 = m1.counts.load_contiguous
+
+        # Fig. 2: a strided column needs a gather = n per-lane accesses
+        m2 = SimdMachine(width=n)
+        m2.gather(tile, np.arange(0, n * n, n))
+        fig2 = m2.counts.load_gather
+
+        # Fig. 3: full LAT path on one tile
+        m3 = SimdMachine(width=n)
+        out = np.zeros_like(tile)
+        transpose_tile_with_machine(m3, tile, out)
+        assert np.array_equal(out, tile.T)
+
+        lines = [
+            f"Fig. 1 (contiguous row load): {fig1} instruction for {n} lanes",
+            f"Fig. 2 (strided column load): {fig2} memory operations for {n} lanes",
+            f"Fig. 3 (LAT 16x16 transpose): {m3.counts.shuffle} shuffles "
+            f"(paper: 64), {m3.counts.load_contiguous} loads, "
+            f"{m3.counts.store_contiguous} stores",
+            "",
+            "Cost of moving one 16x16 tile through the u_z sweep:",
+            f"  gather path : {n * n} per-lane loads",
+            f"  LAT path    : {2 * n} contiguous ops + {lat_shuffle_count(n)} "
+            "register shuffles (ALU speed)",
+        ]
+        record("fig123_lat_instructions", "\n".join(lines))
+        assert m3.counts.shuffle == 64
+        assert fig2 == n
+        assert fig1 == 1
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_register_transpose(benchmark):
+    """Throughput of the simulated 16x16 register transpose."""
+    n = 16
+    m = SimdMachine(width=n)
+    tile = np.arange(n * n, dtype=np.float32).reshape(n, n)
+    regs = [m.load(tile, r * n) for r in range(n)]
+    benchmark(register_transpose, m, regs)

@@ -1,0 +1,64 @@
+"""Figure 7 — weak (left) and strong (right) scaling curves.
+
+Regenerates the plotted data series: per-step elapsed time of the
+Vlasov/tree/PM parts and the total, against node count, for the matched
+weak sequence and for every run group.  Printed as aligned text series
+(the repository's figures are data, not pictures — DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.scaling import figure7_series
+
+from benchmarks.conftest import record, run_report
+
+
+def test_fig7_report(benchmark):
+    """Regenerate Fig. 7's data series."""
+    def _report():
+        series = figure7_series()
+        lines = ["Fig. 7 (left): weak-scaling sequence (seconds per step)"]
+        lines.append(
+            f"{'run':>7} {'nodes':>7} {'vlasov':>8} {'tree':>8} {'pm':>8} {'total':>8}"
+        )
+        for p in series["weak"]:
+            lines.append(
+                f"{p['run']:>7} {p['nodes']:>7} {p['vlasov']:>8.3f} "
+                f"{p['tree']:>8.3f} {p['pm']:>8.3f} {p['total']:>8.3f}"
+            )
+        lines.append("")
+        lines.append("Fig. 7 (right): strong scaling within groups")
+        lines.append(
+            f"{'run':>7} {'nodes':>7} {'vlasov':>8} {'tree':>8} {'pm':>8} {'total':>8}"
+        )
+        for p in series["strong"]:
+            lines.append(
+                f"{p['run']:>7} {p['nodes']:>7} {p['vlasov']:>8.3f} "
+                f"{p['tree']:>8.3f} {p['pm']:>8.3f} {p['total']:>8.3f}"
+            )
+        record("fig7_scaling_curves", "\n".join(lines))
+
+        # shape checks: weak sequence roughly flat in total time
+        weak_totals = [p["total"] for p in series["weak"]]
+        assert max(weak_totals) / min(weak_totals) < 1.35
+        # strong scaling within each group: total time decreases with nodes
+        by_group: dict[str, list] = {}
+        for p in series["strong"]:
+            by_group.setdefault(p["group"], []).append(p)
+        for group, points in by_group.items():
+            points.sort(key=lambda q: q["nodes"])
+            totals = [q["total"] for q in points]
+            assert all(a > b for a, b in zip(totals, totals[1:])), group
+            # PM part shrinks far more slowly than the node count grows
+            # (frozen FFT parallelism): compare against ideal scaling
+            pms = [q["pm"] for q in points]
+            node_growth = points[-1]["nodes"] / points[0]["nodes"]
+            assert max(pms) / min(pms) < 0.75 * node_growth, group
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_figure7(benchmark):
+    series = benchmark(figure7_series)
+    assert len(series["strong"]) == 17

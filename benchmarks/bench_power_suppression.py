@@ -1,0 +1,72 @@
+"""The neutrino-mass observable: small-scale power suppression.
+
+The paper's overview: massive neutrinos "suppress the nonlinear growth of
+large-scale density fluctuations through collisionless damping", which is
+how surveys will weigh the neutrino.  This bench runs matched hybrid
+simulations (same phases) with M_nu ~ 0 and M_nu = 0.4 eV and measures
+the z = 0 CDM transfer ratio T(k) = sqrt(P_0.4 / P_0) — the suppression
+step that linear theory predicts at the ~ -8 f_nu/2 level in amplitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import transfer_ratio
+from repro.cosmology import Cosmology, growth_suppression_factor
+from repro.nbody.integrator import scale_factor_steps
+
+from benchmarks.conftest import record, run_report
+from benchmarks.workloads import build_hybrid
+
+
+@pytest.fixture(scope="module")
+def matched_runs():
+    fields = {}
+    for m_nu in (1.0e-4, 0.4):
+        # a 40 Mpc/h box probes k = 0.2-0.8 h/Mpc, well above the
+        # free-streaming scale where the suppression lives
+        sim = build_hybrid(
+            m_nu_ev=m_nu, nx=8, nu=8, box=40.0, n_side_cdm=16, seed=314
+        )
+        sim.run(scale_factor_steps(sim.a, 1.0, 5))
+        rho = sim.cdm_density()
+        fields[m_nu] = (rho / rho.mean() - 1.0, sim.grid.box_size)
+    return fields
+
+
+def test_power_suppression_report(benchmark, matched_runs):
+    """Regenerate the suppression observable (paper overview section)."""
+    def _report():
+        (d0, box), (d4, _) = matched_runs[1.0e-4], matched_runs[0.4]
+        k, t = transfer_ratio(d4, d0, box, n_bins=5)
+        cosmo = Cosmology(m_nu_total_ev=0.4)
+        lines = [
+            "CDM power suppression by 0.4 eV neutrinos (matched phases, z=0):",
+            f"{'k [h/Mpc]':>10} {'T(k) measured':>14} {'linear sqrt(supp)':>18}",
+        ]
+        for i in range(len(k)):
+            lin = float(np.sqrt(growth_suppression_factor(cosmo, k[i])))
+            lines.append(f"{k[i]:10.3f} {t[i]:14.3f} {lin:18.3f}")
+        lines.append("")
+        accrued = 1 - 7.0 ** (-(3.0 / 5.0) * cosmo.f_nu)  # since z=10 only
+        lines.append(
+            f"mean amplitude suppression: {1 - t.mean():.2%}; linear-theory "
+            f"ceiling accrued since the z=10 start: ~{accrued:.2%} (partial "
+            "neutrino clustering at these k reduces it further)"
+        )
+        record("power_suppression", "\n".join(lines))
+
+        # the shape claim: the massive-nu run has less CDM power at every
+        # measured k, at the percent level (matched phases cancel cosmic
+        # variance, so 0.1% effects are resolvable)
+        assert np.all(t < 1.0)
+        assert 0.002 < 1 - t.mean() < accrued * 2
+
+    run_report(benchmark, _report)
+
+
+def test_bench_transfer_ratio(benchmark, matched_runs):
+    (d0, box), (d4, _) = matched_runs[1.0e-4], matched_runs[0.4]
+    benchmark(transfer_ratio, d4, d0, box, 5)

@@ -1,0 +1,106 @@
+"""Table 1 — per-CMG advection throughput: w/o SIMD, w/ SIMD, w/ LAT.
+
+Two regenerations:
+
+1. the paper's own numbers, replayed from the machine model (they anchor
+   the cost model, so this is a consistency check, not a measurement);
+2. a *measured* Python analog: the same three performance regimes
+   (scalar loops / contiguous vectorized / strided vs LAT) on this
+   machine, reported in Gflop/s.  The acceptance criterion is the shape:
+   vectorized >> scalar, LAT >> naive-strided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.a64fx import TABLE1
+from repro.simd.kernels import (
+    gflops,
+    sweep_cols_lat,
+    sweep_cols_strided,
+    sweep_cols_vectorized,
+    sweep_rows,
+    sweep_scalar,
+)
+
+from benchmarks.conftest import record, run_report
+
+ALPHA = 0.37
+SHAPE = (1024, 2048)
+
+
+@pytest.fixture(scope="module")
+def field(rng):
+    return rng.random(SHAPE).astype(np.float32)
+
+
+def test_table1_report(benchmark, field):
+    """Regenerate Table 1: paper values + measured Python analogs."""
+    def _report():
+        import time
+
+        def measure(fn, f, repeats=5):
+            fn(f, ALPHA)  # warm up
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                fn(f, ALPHA)
+            return gflops(f.size, (time.perf_counter() - t0) / repeats)
+
+        g_rows = measure(sweep_rows, field)
+        g_strided = measure(sweep_cols_strided, field)
+        g_lat = measure(sweep_cols_lat, field)
+        g_vec = measure(sweep_cols_vectorized, field)
+
+        small = field[:192, :192].astype(np.float64)
+        import time as _t
+
+        t0 = _t.perf_counter()
+        sweep_scalar(small, ALPHA)
+        g_scalar = gflops(small.size, _t.perf_counter() - t0)
+
+        lines = ["Paper Table 1 (Gflops/CMG on A64FX):"]
+        lines.append(f"{'dir':>4} {'no SIMD':>9} {'SIMD':>9} {'LAT':>9}")
+        for d, t in TABLE1.items():
+            lat = f"{t.lat:9.1f}" if t.lat else "        -"
+            lines.append(f"{d:>4} {t.no_simd:9.2f} {t.simd:9.1f} {lat}")
+        lines.append("")
+        lines.append("Measured Python analogs on this machine (Gflops):")
+        lines.append(f"  scalar loops       (w/o SIMD): {g_scalar:8.3f}")
+        lines.append(f"  contiguous rows    (x-like)  : {g_rows:8.2f}")
+        lines.append(f"  strided columns    (u_z-like): {g_strided:8.2f}")
+        lines.append(f"  LAT columns        (u_z+LAT) : {g_lat:8.2f}")
+        lines.append(f"  whole-array axis-0 (library) : {g_vec:8.2f}")
+        lines.append("")
+        lines.append(
+            f"  vectorization gain: {g_rows / g_scalar:6.1f}x "
+            f"(paper ~{TABLE1['ux'].simd / TABLE1['ux'].no_simd:.0f}x)"
+        )
+        lines.append(
+            f"  LAT over strided  : {g_lat / g_strided:6.1f}x "
+            f"(paper {TABLE1['uz'].lat / TABLE1['uz'].simd:.1f}x)"
+        )
+        record("table1_simd", "\n".join(lines))
+
+        # shape assertions
+        assert g_rows > 10 * g_scalar
+        assert g_lat > 2 * g_strided
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_rows_kernel(benchmark, field):
+    """pytest-benchmark timing of the contiguous (SIMD-analog) sweep."""
+    benchmark(sweep_rows, field, ALPHA)
+
+
+def test_bench_strided_kernel(benchmark, field):
+    """Timing of the naive strided (u_z-like) sweep."""
+    benchmark(sweep_cols_strided, field, ALPHA)
+
+
+def test_bench_lat_kernel(benchmark, field):
+    """Timing of the LAT sweep — compare against the strided bench."""
+    benchmark(sweep_cols_lat, field, ALPHA)

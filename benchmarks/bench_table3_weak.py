@@ -1,0 +1,34 @@
+"""Table 3 — weak-scaling efficiencies (S2 -> M16 -> L128 -> H1024).
+
+Regenerates the whole/part efficiency table from the machine model and
+prints it side by side with the paper's measured values.  Acceptance:
+each part lands within the documented tolerance bands of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.scaling import PAPER_TABLE3, format_efficiency_table, weak_scaling_table
+
+from benchmarks.conftest import record, run_report
+
+
+def test_table3_report(benchmark):
+    """Regenerate Table 3 (model vs paper)."""
+    def _report():
+        rows = weak_scaling_table()
+        text = format_efficiency_table(rows, PAPER_TABLE3)
+        record("table3_weak_scaling", text)
+        for row in rows:
+            paper = PAPER_TABLE3[row.label]
+            assert abs(row.total - paper["total"]) < 8
+            assert abs(row.vlasov - paper["vlasov"]) < 8
+            assert abs(row.tree - paper["tree"]) < 15
+            assert abs(row.pm - paper["pm"]) < 15
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_weak_scaling(benchmark):
+    rows = benchmark(weak_scaling_table)
+    assert len(rows) == 3

@@ -1,0 +1,33 @@
+"""Table 4 — strong-scaling efficiencies within the S, M, L, H groups.
+
+Model-vs-paper regeneration; acceptance is the band structure: totals in
+the abstract's 82-93%-ish range, the Vlasov part the strongest scaler,
+the PM part the weakest (FFT parallelism frozen within a group).
+"""
+
+from __future__ import annotations
+
+from repro.scaling import PAPER_TABLE4, format_efficiency_table, strong_scaling_table
+
+from benchmarks.conftest import record, run_report
+
+
+def test_table4_report(benchmark):
+    """Regenerate Table 4 (model vs paper)."""
+    def _report():
+        rows = strong_scaling_table()
+        text = format_efficiency_table(rows, PAPER_TABLE4)
+        record("table4_strong_scaling", text)
+        for row in rows:
+            assert 80.0 < row.total < 100.0, row.label
+            assert row.pm < row.vlasov
+            # paper band for the PM part: 34-73%
+            assert 20.0 < row.pm < 80.0
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_strong_scaling(benchmark):
+    rows = benchmark(strong_scaling_table)
+    assert len(rows) == 4

@@ -1,0 +1,38 @@
+"""§7.2 — time-to-solution vs the TianNu simulation.
+
+Regenerates: the Eq. (9)-(10) effective-resolution equivalence (exact),
+the end-to-end times of H1024 and U1024 (machine model; H1024 anchors
+the absolute scale, U1024 is predicted), and the speedups over TianNu's
+52 hours (paper: 27x and 8.9x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scaling import (
+    effective_resolution_cells,
+    format_tts_report,
+    model_end_to_end,
+)
+
+from benchmarks.conftest import record, run_report
+
+
+def test_tts_report(benchmark):
+    """Regenerate the §7.2 comparison."""
+    def _report():
+        record("time_to_solution", format_tts_report())
+        tts = model_end_to_end()
+        assert tts["H1024"].speedup_vs_tiannu == pytest.approx(27.0, rel=0.05)
+        assert tts["U1024"].speedup_vs_tiannu == pytest.approx(8.9, rel=0.15)
+        assert effective_resolution_cells(100.0) == pytest.approx(640, rel=0.01)
+        assert effective_resolution_cells(50.0) == pytest.approx(1018, rel=0.01)
+
+
+
+    run_report(benchmark, _report)
+
+def test_bench_tts_model(benchmark):
+    tts = benchmark(model_end_to_end)
+    assert set(tts) == {"H1024", "U1024"}

@@ -1,0 +1,78 @@
+"""Shared mini-workload builders for the figure reproductions.
+
+The paper's figures come from flagship runs; these builders produce the
+laptop-scale versions with the same structure: one Gaussian realization,
+Zel'dovich CDM, free-streaming-suppressed neutrino f, the full hybrid
+coupling — only the grid counts are small (DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hybrid import HybridSimulation, build_neutrino_component
+from repro.core.mesh import PhaseSpaceGrid
+from repro.cosmology import (
+    Cosmology,
+    LinearPower,
+    RelicNeutrinoDistribution,
+    growth_factor,
+    growth_suppression_factor,
+)
+from repro.ic import (
+    FourierGrid,
+    filter_field_fourier,
+    gaussian_field_fourier,
+    linear_velocity_field,
+    zeldovich_particles,
+)
+from repro.nbody.integrator import scale_factor_steps
+
+
+def build_hybrid(
+    m_nu_ev: float = 0.4,
+    nx: int = 8,
+    nu: int = 8,
+    box: float = 200.0,
+    n_side_cdm: int = 16,
+    a_start: float = 1.0 / 11.0,
+    seed: int = 2021,
+    use_tree: bool = False,
+    r_split_cells: float = 1.25,
+) -> HybridSimulation:
+    """A complete mini hybrid simulation, IC'd like the paper's runs:
+    z = 10 start, shared Gaussian realization, suppressed neutrino field."""
+    cosmo = Cosmology(m_nu_total_ev=m_nu_ev)
+    fd = RelicNeutrinoDistribution(m_nu_ev / 3.0, cosmo.units)
+    grid = PhaseSpaceGrid(
+        nx=(nx,) * 3, nu=(nu,) * 3, box_size=box, v_max=fd.velocity_cutoff(0.997)
+    )
+    rng = np.random.default_rng(seed)
+    fgrid = FourierGrid((nx,) * 3, box)
+    power = LinearPower(cosmo)
+    dk = gaussian_field_fourier(fgrid, lambda k: power(k), rng)
+
+    cdm_mass = (cosmo.omega_cdm + cosmo.omega_b) * cosmo.units.rho_crit * box**3
+    cdm = zeldovich_particles(dk, fgrid, cosmo, a_start, n_side_cdm, cdm_mass)
+
+    d0 = float(growth_factor(cosmo, a_start))
+    dk_nu = filter_field_fourier(
+        dk, fgrid,
+        lambda k: np.sqrt(np.clip(growth_suppression_factor(cosmo, k), 0.0, None)),
+    )
+    delta_nu = d0 * np.fft.irfftn(dk_nu, s=fgrid.n_mesh, axes=range(3))
+    bulk = linear_velocity_field(dk_nu, fgrid, cosmo, a_start)
+
+    sim = HybridSimulation(
+        grid, cdm, cosmo, a=a_start, use_tree=use_tree,
+        r_split_cells=r_split_cells,
+    )
+    sim.neutrinos.f = build_neutrino_component(
+        grid, cosmo, delta_nu=delta_nu, bulk_velocity=bulk
+    )
+    return sim
+
+
+def evolve(sim: HybridSimulation, a_end: float = 1.0, n_steps: int = 6) -> None:
+    """Advance to a_end on a log schedule."""
+    sim.run(scale_factor_steps(sim.a, a_end, n_steps))

@@ -1,0 +1,77 @@
+"""Neutrino condensation onto dark-matter halos — the science of the
+paper's TianNu comparator (Yu et al. 2017, paper refs. [7, 27]), done the
+Vlasov way.
+
+Pipeline: run the hybrid simulation to z = 0, find CDM halos with a
+periodic friends-of-friends finder, and measure the neutrino overdensity
+at each halo from the *noise-free* Vlasov density mesh.  Heavier halos
+capture more neutrinos ("differential condensation"); with particles this
+measurement fights shot noise, with f it is a table lookup.
+
+Run:  python examples/neutrino_condensation.py [--nx 10] [--steps 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    condensation_report,
+    fof_halos,
+    halo_neutrino_overdensity,
+)
+from repro.nbody.integrator import scale_factor_steps
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+from workloads import build_hybrid  # noqa: E402
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=10)
+    ap.add_argument("--nu", type=int, default=8)
+    ap.add_argument("--n-side-cdm", type=int, default=24)
+    ap.add_argument("--steps", type=int, default=6)
+    ap.add_argument("--seed", type=int, default=27)
+    ap.add_argument("--box", type=float, default=40.0,
+                    help="small box = nonlinear by z=0 = real halos")
+    args = ap.parse_args()
+
+    sim = build_hybrid(
+        m_nu_ev=0.4, nx=args.nx, nu=args.nu, box=args.box,
+        n_side_cdm=args.n_side_cdm, seed=args.seed,
+        use_tree=True, r_split_cells=0.8,
+    )
+    print(f"evolving {sim.cdm.n} CDM particles + {sim.grid.n_cells:,} "
+          f"phase-space cells, z=10 -> 0 ...")
+    sim.run(scale_factor_steps(sim.a, 1.0, args.steps))
+
+    halos = fof_halos(sim.cdm, b=0.25, min_members=16)
+    print(f"\nFoF (b=0.25): {len(halos)} halos with >= 16 particles")
+    if not halos:
+        print("increase --n-side-cdm or --steps to form halos")
+        return
+
+    rho_nu = sim.neutrino_density()
+    delta_nu = halo_neutrino_overdensity(halos, rho_nu, sim.grid)
+
+    print("\nper-halo neutrino overdensity (top 8 by mass):")
+    print(f"{'rank':>5} {'N_p':>5} {'M [1e10 Ms/h]':>14} {'R':>6} {'delta_nu':>9}")
+    for i, h in enumerate(halos[:8]):
+        print(f"{i + 1:>5} {h.n_particles:>5} {h.mass:>14.3e} "
+              f"{h.radius:>6.2f} {delta_nu[i]:>9.4f}")
+
+    print("\ndifferential condensation (heavier halos catch more):")
+    print(condensation_report(halos, delta_nu))
+
+    field_mean = float(delta_nu.mean())
+    print(f"\nmean neutrino overdensity at halos: {field_mean:+.4f} "
+          "(> 0: neutrinos condense onto structure)")
+
+
+if __name__ == "__main__":
+    main()

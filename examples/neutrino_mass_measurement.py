@@ -1,0 +1,75 @@
+"""The science case: how the neutrino mass imprints itself on the matter
+power spectrum (the 'measuring the neutrino mass' program of the paper's
+overview section).
+
+Runs matched hybrid simulations at M_nu = 0.0, 0.2 and 0.4 eV from the
+same random realization and measures the small-scale suppression of the
+CDM power spectrum — the collisionless-damping signature galaxy surveys
+will use to weigh the neutrino.
+
+Run:  python examples/neutrino_mass_measurement.py [--nx 8] [--steps 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.cosmology import Cosmology, growth_suppression_factor
+from repro.ic import measure_power
+from repro.nbody.integrator import scale_factor_steps
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+from workloads import build_hybrid  # noqa: E402  (reuses the IC pipeline)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nx", type=int, default=8)
+    ap.add_argument("--nu", type=int, default=8)
+    ap.add_argument("--steps", type=int, default=5)
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--box", type=float, default=40.0,
+                    help="small box probes k above the free-streaming "
+                         "scale, where the suppression lives")
+    args = ap.parse_args()
+
+    spectra = {}
+    for m_nu in (1e-4, 0.2, 0.4):  # ~0 eV handled as a tiny mass
+        sim = build_hybrid(
+            m_nu_ev=m_nu, nx=args.nx, nu=args.nu, box=args.box,
+            n_side_cdm=2 * args.nx, seed=args.seed,
+        )
+        sim.run(scale_factor_steps(sim.a, 1.0, args.steps))
+        rho = sim.cdm_density()
+        delta = rho / rho.mean() - 1.0
+        k, p, _ = measure_power(delta, sim.grid.box_size, n_bins=6)
+        spectra[m_nu] = (k, p)
+        print(f"M_nu = {m_nu:5.4f} eV: z=0 CDM power measured "
+              f"({len(k)} k-bins, sigma_delta = {delta.std():.3f})")
+
+    k0, p0 = spectra[1e-4]
+    print(f"\n{'k [h/Mpc]':>10} {'P(0.2)/P(0)':>12} {'P(0.4)/P(0)':>12} "
+          f"{'linear theory 0.4':>18}")
+    for i, k in enumerate(k0):
+        r2 = spectra[0.2][1][i] / p0[i]
+        r4 = spectra[0.4][1][i] / p0[i]
+        lin = float(
+            growth_suppression_factor(Cosmology(m_nu_total_ev=0.4), k)
+        )
+        print(f"{k:10.3f} {r2:12.3f} {r4:12.3f} {lin:18.3f}")
+
+    mean_r4 = np.mean(spectra[0.4][1] / p0)
+    mean_r2 = np.mean(spectra[0.2][1] / p0)
+    print(f"\nmean suppression: {1 - mean_r2:.1%} (0.2 eV), "
+          f"{1 - mean_r4:.1%} (0.4 eV)")
+    print("heavier neutrinos suppress more - the mass is measurable from "
+          "the spectrum shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate the paper's entire performance evaluation from the machine
+model: Table 2 (run matrix), Tables 3-4 (weak/strong scaling), Figure 7
+(scaling curves) and the §7.2 time-to-solution comparison with TianNu.
+
+Run:  python examples/scaling_fugaku.py
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import predict_step
+from repro.scaling import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    by_id,
+    figure7_series,
+    format_efficiency_table,
+    format_tts_report,
+    run_config_table,
+    strong_scaling_table,
+    weak_scaling_table,
+)
+
+
+def main() -> None:
+    print("=" * 76)
+    print("Table 2 — run configurations")
+    print("=" * 76)
+    print(run_config_table())
+
+    print()
+    print("=" * 76)
+    print("Per-step decomposition for the weak-scaling sequence (Fig. 7 left)")
+    print("=" * 76)
+    for rid in ("S2", "M16", "L128", "H1024"):
+        b = predict_step(by_id(rid))
+        fr = b.fractions()
+        print(
+            f"  {rid:>6}: total {b.total:6.3f}s = vlasov {b.vlasov:6.3f} "
+            f"({fr['vlasov'] * 100:4.1f}%) + tree {b.tree:6.3f} "
+            f"({fr['tree'] * 100:4.1f}%) + pm {b.pm:6.3f} ({fr['pm'] * 100:4.1f}%)"
+        )
+
+    print()
+    print("=" * 76)
+    print("Table 3 — weak-scaling efficiencies (model vs paper)")
+    print("=" * 76)
+    print(format_efficiency_table(weak_scaling_table(), PAPER_TABLE3))
+
+    print()
+    print("=" * 76)
+    print("Table 4 — strong-scaling efficiencies (model vs paper)")
+    print("=" * 76)
+    print(format_efficiency_table(strong_scaling_table(), PAPER_TABLE4))
+
+    print()
+    print("=" * 76)
+    print("Figure 7 — strong-scaling series (seconds per step)")
+    print("=" * 76)
+    series = figure7_series()
+    print(f"{'run':>7} {'nodes':>7} {'vlasov':>8} {'tree':>8} {'pm':>8} {'total':>8}")
+    for p in series["strong"]:
+        print(
+            f"{p['run']:>7} {p['nodes']:>7} {p['vlasov']:>8.3f} "
+            f"{p['tree']:>8.3f} {p['pm']:>8.3f} {p['total']:>8.3f}"
+        )
+
+    print()
+    print("=" * 76)
+    print("Section 7.2 — time-to-solution")
+    print("=" * 76)
+    print(format_tts_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — hybrid 6-D Vlasov / N-body cosmological simulation library.
+
+A from-scratch Python reproduction of the system described in
+Yoshikawa, Tanaka & Yoshida, "A 400 Trillion-Grid Vlasov Simulation on
+Fugaku Supercomputer" (SC '21): the SL-MPP5 six-dimensional Vlasov solver
+for cosmic relic neutrinos, the TreePM N-body solver for cold dark matter,
+their self-consistent hybrid coupling, and the performance machinery
+(SIMD/LAT kernels, domain decomposition, Fugaku machine model) that the
+paper's evaluation section measures.
+
+Quick start::
+
+    from repro.core import PhaseSpaceGrid, PlasmaVlasovPoisson
+    grid = PhaseSpaceGrid(nx=(64,), nu=(128,), box_size=4*3.14159, v_max=6.0)
+    vp = PlasmaVlasovPoisson(grid)
+    ...
+
+See README.md and the examples/ directory.
+"""
+
+__version__ = "1.0.0"
+
+from . import constants, units
+
+__all__ = ["constants", "units", "__version__"]

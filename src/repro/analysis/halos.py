@@ -1,0 +1,199 @@
+"""Friends-of-friends halos and neutrino condensation onto them.
+
+The paper's simulations exist to resolve "nonlinear objects such as galaxy
+clusters" and how relic neutrinos respond to them; its TianNu comparator
+(refs. [7, 27]) measured exactly this — "differential neutrino condensation
+onto cosmic structure".  This module provides the analysis chain:
+
+* a periodic friends-of-friends (FoF) halo finder over the CDM particles
+  (the standard b = 0.2 linking length), built on a union-find over
+  cKDTree neighbor pairs;
+* per-halo neutrino overdensity measured from the *smooth* Vlasov density
+  mesh — the measurement that shot noise makes hard for particle codes
+  and trivial here (the paper's central selling point applied to its
+  comparator's science).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..core.mesh import PhaseSpaceGrid
+from ..nbody.particles import ParticleSet
+
+
+class _UnionFind:
+    """Weighted quick-union with path compression."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+@dataclass(frozen=True)
+class Halo:
+    """One FoF group."""
+
+    center: np.ndarray  # periodic-aware center of mass
+    mass: float
+    n_particles: int
+    radius: float  # RMS particle distance from the center
+    member_indices: np.ndarray
+
+
+def fof_halos(
+    particles: ParticleSet,
+    linking_length: float | None = None,
+    b: float = 0.2,
+    min_members: int = 8,
+) -> list[Halo]:
+    """Periodic friends-of-friends groups.
+
+    Parameters
+    ----------
+    particles:
+        The CDM particle set.
+    linking_length:
+        Absolute linking length; default b x mean interparticle spacing.
+    b:
+        Linking parameter when ``linking_length`` is None (standard 0.2).
+    min_members:
+        Minimum group size reported.
+
+    Returns
+    -------
+    list[Halo]
+        Halos sorted by decreasing mass.
+    """
+    n = particles.n
+    if n == 0:
+        return []
+    box = particles.box_size
+    if linking_length is None:
+        spacing = box / n ** (1.0 / particles.dim)
+        linking_length = b * spacing
+    if linking_length <= 0:
+        raise ValueError("linking length must be positive")
+
+    tree = cKDTree(particles.positions, boxsize=box)
+    pairs = tree.query_pairs(linking_length, output_type="ndarray")
+    uf = _UnionFind(n)
+    for a, c in pairs:
+        uf.union(int(a), int(c))
+
+    roots = np.fromiter((uf.find(i) for i in range(n)), dtype=np.int64, count=n)
+    halos: list[Halo] = []
+    for root in np.unique(roots):
+        members = np.nonzero(roots == root)[0]
+        if len(members) < min_members:
+            continue
+        pos = particles.positions[members]
+        masses = particles.masses[members]
+        center = _periodic_center(pos, masses, box)
+        d = pos - center
+        d = (d + 0.5 * box) % box - 0.5 * box
+        radius = float(np.sqrt((masses * (d**2).sum(axis=1)).sum() / masses.sum()))
+        halos.append(
+            Halo(
+                center=center,
+                mass=float(masses.sum()),
+                n_particles=len(members),
+                radius=radius,
+                member_indices=members,
+            )
+        )
+    halos.sort(key=lambda h: -h.mass)
+    return halos
+
+
+def _periodic_center(pos: np.ndarray, masses: np.ndarray, box: float) -> np.ndarray:
+    """Mass-weighted center on the torus (circular-mean per axis)."""
+    theta = pos * (2.0 * np.pi / box)
+    w = masses / masses.sum()
+    x = (w[:, None] * np.cos(theta)).sum(axis=0)
+    y = (w[:, None] * np.sin(theta)).sum(axis=0)
+    angle = np.arctan2(y, x)
+    return (angle % (2.0 * np.pi)) * box / (2.0 * np.pi)
+
+
+def halo_neutrino_overdensity(
+    halos: list[Halo],
+    rho_nu: np.ndarray,
+    grid: PhaseSpaceGrid,
+    radius_cells: float = 1.5,
+) -> np.ndarray:
+    """Neutrino density contrast at each halo, from the Vlasov mesh.
+
+    For every halo, average the (noise-free) neutrino density over mesh
+    cells within ``radius_cells`` of the halo center and return
+    delta_nu = rho/<rho> - 1 — TianNu's "neutrino condensation" statistic,
+    here measured without any neutrino shot noise.
+    """
+    if rho_nu.shape != grid.nx:
+        raise ValueError(f"rho_nu shape {rho_nu.shape} != mesh {grid.nx}")
+    if not halos:
+        return np.empty(0)
+    mean = rho_nu.mean()
+    dx = grid.dx[0]
+    n_mesh = np.array(grid.nx)
+    out = np.empty(len(halos))
+    r = int(np.ceil(radius_cells))
+    offsets = np.array(
+        [
+            (i, j, k)
+            for i in range(-r, r + 1)
+            for j in range(-r, r + 1)
+            for k in range(-r, r + 1)
+            if i * i + j * j + k * k <= radius_cells**2
+        ],
+        dtype=np.int64,
+    )
+    for h_i, halo in enumerate(halos):
+        base = (halo.center / dx).astype(np.int64)
+        cells = (base[None, :] + offsets) % n_mesh[None, :]
+        vals = rho_nu[cells[:, 0], cells[:, 1], cells[:, 2]]
+        out[h_i] = vals.mean() / mean - 1.0
+    return out
+
+
+def condensation_report(
+    halos: list[Halo],
+    delta_nu: np.ndarray,
+    n_bins: int = 3,
+) -> str:
+    """Text summary: neutrino overdensity vs halo mass (differential
+    condensation — heavier halos capture more neutrinos)."""
+    if len(halos) == 0:
+        return "no halos found"
+    masses = np.array([h.mass for h in halos])
+    order = np.argsort(masses)
+    bins = np.array_split(order, n_bins)
+    lines = [f"{'mass bin':>12} {'halos':>6} {'<M>':>10} {'<delta_nu>':>11}"]
+    for i, sel in enumerate(reversed(bins)):  # heaviest first
+        if len(sel) == 0:
+            continue
+        lines.append(
+            f"{'bin ' + str(i + 1):>12} {len(sel):>6} "
+            f"{masses[sel].mean():>10.3e} {delta_nu[sel].mean():>11.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational surface over the library — the things a user wants
+without writing a script:
+
+* ``info``     — version, subsystem inventory, paper reference;
+* ``landau``   — run the Landau-damping validation and report the rate;
+* ``hybrid``   — run a mini cosmological hybrid simulation;
+* ``scaling``  — print Tables 2-4 + the time-to-solution report;
+* ``memory``   — per-node memory audit of the Table 2 runs;
+* ``schemes``  — list the advection schemes and their properties.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    """Print library and paper information."""
+    import repro
+    from repro.core.advection import SCHEMES
+
+    print(f"repro {repro.__version__}")
+    print(
+        "Reproduction of: Yoshikawa, Tanaka & Yoshida, 'A 400 Trillion-Grid "
+        "Vlasov\nSimulation on Fugaku Supercomputer' (SC '21)."
+    )
+    print(f"advection schemes: {', '.join(sorted(SCHEMES))}")
+    print("subsystems: core gravity nbody cosmology ic parallel simd machine")
+    print("            scaling io analysis diagnostics plasma")
+    print("see README.md / DESIGN.md / EXPERIMENTS.md")
+    return 0
+
+
+def cmd_landau(args: argparse.Namespace) -> int:
+    """Landau-damping validation (the quickstart, parameterized)."""
+    import numpy as np
+    from scipy.signal import argrelmax
+
+    from repro.core import PhaseSpaceGrid, PlasmaVlasovPoisson
+
+    grid = PhaseSpaceGrid(
+        nx=(args.nx,), nu=(args.nu,), box_size=2 * np.pi / args.k,
+        v_max=6.0, dtype=np.float64,
+    )
+    vp = PlasmaVlasovPoisson(grid, scheme=args.scheme)
+    x = grid.x_centers(0)[:, None]
+    v = grid.u_centers(0)[None, :]
+    vp.f = (1 + 0.01 * np.cos(args.k * x)) * np.exp(-v**2 / 2) / np.sqrt(2 * np.pi)
+    times, energies = [], []
+    for _ in range(args.steps):
+        vp.step(0.1)
+        times.append(vp.time)
+        energies.append(vp.field_energy())
+    t, e = np.array(times), np.array(energies)
+    log_amp = 0.5 * np.log(e)
+    peaks = argrelmax(log_amp)[0]
+    peaks = peaks[(t[peaks] > 2) & (t[peaks] < 15)]
+    if len(peaks) < 3:
+        print("not enough oscillation peaks to fit — increase --steps")
+        return 1
+    gamma = np.polyfit(t[peaks], log_amp[peaks], 1)[0]
+    print(f"scheme={args.scheme} k={args.k}: gamma = {gamma:+.4f} "
+          "(theory -0.1533 at k=0.5)")
+    return 0
+
+
+def cmd_hybrid(args: argparse.Namespace) -> int:
+    """Mini cosmological hybrid run (delegates to the example)."""
+    sys.argv = [
+        "cosmic_neutrinos",
+        "--nx", str(args.nx), "--nu", str(args.nu),
+        "--steps", str(args.steps), "--m-nu", str(args.m_nu),
+    ]
+    import pathlib
+
+    example = pathlib.Path(__file__).resolve().parents[2] / "examples" / "cosmic_neutrinos.py"
+    if example.exists():
+        exec(compile(example.read_text(), str(example), "exec"), {"__name__": "__main__"})
+        return 0
+    print("examples/cosmic_neutrinos.py not found (installed without examples)")
+    return 1
+
+
+def cmd_scaling(_: argparse.Namespace) -> int:
+    """Tables 2-4 and the time-to-solution report."""
+    from repro.scaling import (
+        PAPER_TABLE3,
+        PAPER_TABLE4,
+        format_efficiency_table,
+        format_tts_report,
+        run_config_table,
+        strong_scaling_table,
+        weak_scaling_table,
+    )
+
+    print(run_config_table())
+    print("\nTable 3 (weak scaling, model vs paper):")
+    print(format_efficiency_table(weak_scaling_table(), PAPER_TABLE3))
+    print("\nTable 4 (strong scaling, model vs paper):")
+    print(format_efficiency_table(strong_scaling_table(), PAPER_TABLE4))
+    print()
+    print(format_tts_report())
+    return 0
+
+
+def cmd_memory(_: argparse.Namespace) -> int:
+    """Per-node memory audit of every Table 2 run."""
+    from repro.scaling.memory import global_f_bytes, memory_report
+    from repro.scaling.runs import TABLE2, by_id
+
+    print(memory_report(TABLE2))
+    print(
+        f"\nU1024 distribution function, system-wide: "
+        f"{global_f_bytes(by_id('U1024')) / 1e15:.2f} PB"
+    )
+    return 0
+
+
+def cmd_schemes(_: argparse.Namespace) -> int:
+    """List the advection schemes and their guarantees."""
+    from repro.core.advection import SCHEMES
+
+    print(f"{'name':>10} {'order':>5} {'MP':>4} {'positive':>8} {'type':>10}")
+    for name, spec in sorted(SCHEMES.items()):
+        kind = "weno" if spec.use_weno else "pfc" if spec.use_pfc else "linear"
+        print(
+            f"{name:>10} {spec.order:>5} {'yes' if spec.use_mp else '-':>4} "
+            f"{'yes' if spec.use_pos else '-':>8} {kind:>10}"
+        )
+    print("\nslmpp5 is the paper's production scheme.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="hybrid Vlasov/N-body simulation library"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="library and paper information")
+
+    p = sub.add_parser("landau", help="Landau-damping validation")
+    p.add_argument("--nx", type=int, default=64)
+    p.add_argument("--nu", type=int, default=128)
+    p.add_argument("--k", type=float, default=0.5)
+    p.add_argument("--steps", type=int, default=160)
+    p.add_argument("--scheme", default="slmpp5")
+
+    p = sub.add_parser("hybrid", help="mini cosmological hybrid run")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--nu", type=int, default=8)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--m-nu", type=float, default=0.4)
+
+    sub.add_parser("scaling", help="Tables 2-4 + time-to-solution")
+    sub.add_parser("memory", help="per-node memory audit")
+    sub.add_parser("schemes", help="list advection schemes")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "landau": cmd_landau,
+    "hybrid": cmd_hybrid,
+    "scaling": cmd_scaling,
+    "memory": cmd_memory,
+    "schemes": cmd_schemes,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Physical constants in CGS and convenient astrophysical units.
+
+All constants are module-level floats.  Cosmological code in this package
+works in the comoving unit system defined in :mod:`repro.units`; the raw CGS
+values here are the single source of truth for conversions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants (CGS)
+# ---------------------------------------------------------------------------
+
+#: Speed of light [cm/s]
+C_LIGHT = 2.99792458e10
+
+#: Gravitational constant [cm^3 g^-1 s^-2]
+G_NEWTON = 6.67430e-8
+
+#: Boltzmann constant [erg/K]
+K_BOLTZMANN = 1.380649e-16
+
+#: Planck constant [erg s]
+H_PLANCK = 6.62607015e-27
+
+#: Reduced Planck constant [erg s]
+HBAR = H_PLANCK / (2.0 * math.pi)
+
+#: Electron volt [erg]
+EV = 1.602176634e-12
+
+#: Proton mass [g]
+M_PROTON = 1.67262192369e-24
+
+# ---------------------------------------------------------------------------
+# Astronomical lengths / times / masses
+# ---------------------------------------------------------------------------
+
+#: Parsec [cm]
+PARSEC = 3.0856775814913673e18
+
+#: Kiloparsec [cm]
+KPC = 1.0e3 * PARSEC
+
+#: Megaparsec [cm]
+MPC = 1.0e6 * PARSEC
+
+#: Solar mass [g]
+M_SUN = 1.98892e33
+
+#: Julian year [s]
+YEAR = 3.15576e7
+
+#: Gigayear [s]
+GYR = 1.0e9 * YEAR
+
+# ---------------------------------------------------------------------------
+# Cosmology
+# ---------------------------------------------------------------------------
+
+#: Hubble constant for h = 1 [s^-1]:  100 km/s/Mpc
+H100 = 1.0e7 / MPC
+
+#: Present-day critical density for h = 1 [g/cm^3]:  3 H100^2 / (8 pi G)
+RHO_CRIT_H2 = 3.0 * H100**2 / (8.0 * math.pi * G_NEWTON)
+
+#: Present CMB temperature [K] (Fixsen 2009)
+T_CMB = 2.7255
+
+#: Relic neutrino temperature [K]:  (4/11)^(1/3) T_CMB
+T_NU = T_CMB * (4.0 / 11.0) ** (1.0 / 3.0)
+
+#: Effective number of neutrino species in the instantaneous-decoupling limit
+N_NU_SPECIES = 3
+
+#: Conversion: sum of neutrino masses [eV] -> Omega_nu h^2.
+#: Omega_nu h^2 = M_nu / 93.14 eV  (e.g. Lesgourgues & Pastor 2006)
+OMEGA_NU_H2_PER_EV = 1.0 / 93.14
+
+#: Mean momentum of a relativistic Fermi-Dirac distribution in units of T:
+#: <p>/T = 7 pi^4 / (180 zeta(3)) ~ 3.15137
+FD_MEAN_P_OVER_T = 7.0 * math.pi**4 / (180.0 * 1.2020569031595943)
+
+#: Riemann zeta(3), used in Fermi-Dirac number-density integrals
+ZETA3 = 1.2020569031595943
+
+
+def neutrino_omega(m_nu_total_ev: float, h: float) -> float:
+    """Present-day neutrino density parameter for total mass ``m_nu_total_ev``.
+
+    Parameters
+    ----------
+    m_nu_total_ev:
+        Sum of the three neutrino mass eigenvalues in eV (the paper's
+        ``M_nu``; its flagship runs use 0.4 eV and 0.2 eV).
+    h:
+        Normalized Hubble constant H0 / (100 km/s/Mpc).
+
+    Returns
+    -------
+    float
+        Omega_nu = M_nu / (93.14 eV h^2).
+    """
+    if m_nu_total_ev < 0.0:
+        raise ValueError(f"total neutrino mass must be >= 0, got {m_nu_total_ev}")
+    if h <= 0.0:
+        raise ValueError(f"h must be positive, got {h}")
+    return m_nu_total_ev * OMEGA_NU_H2_PER_EV / h**2
+
+
+def neutrino_thermal_velocity(m_nu_ev: float, a: float = 1.0) -> float:
+    """Characteristic thermal velocity of relic neutrinos [cm/s].
+
+    The momentum distribution of relic neutrinos is a redshifted
+    (massless-decoupling) Fermi-Dirac distribution with temperature
+    ``T_nu / a``.  For a non-relativistic neutrino of mass ``m_nu`` the
+    velocity associated with the mean momentum is
+
+        v_th(a) = <p> c / (m_nu a) = 3.15137 (k_B T_nu) / (m_nu c) / a .
+
+    Parameters
+    ----------
+    m_nu_ev:
+        Mass of a *single* neutrino eigenstate in eV.
+    a:
+        Scale factor (a = 1 today).
+
+    Returns
+    -------
+    float
+        Thermal velocity in cm/s (peculiar velocity; may formally exceed c
+        at very high redshift where the non-relativistic limit breaks down).
+    """
+    if m_nu_ev <= 0.0:
+        raise ValueError(f"m_nu must be positive, got {m_nu_ev}")
+    if a <= 0.0:
+        raise ValueError(f"scale factor must be positive, got {a}")
+    p_mean = FD_MEAN_P_OVER_T * K_BOLTZMANN * T_NU  # momentum*c today [erg]
+    return p_mean / (m_nu_ev * EV) * C_LIGHT / a

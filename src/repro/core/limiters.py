@@ -1,0 +1,187 @@
+"""Monotonicity- and positivity-preserving limiters.
+
+Implements the MP (monotonicity-preserving) interface-value limiter of
+Suresh & Huynh (1997) [paper ref. 22] adapted to the conservative
+semi-Lagrangian flux of the SL-MPP5 scheme (paper §5.2, ref. [23]), plus
+the explicit positivity clamp on the donated fractional mass.
+
+All functions are shape-polymorphic and operate on the *gathered* stencil
+arrays produced by :mod:`repro.core.advection` — entry ``st[m+r]`` holds
+the cell average ``fbar_{j+m}`` of the donor-cell neighborhood, broadcast
+over the rest of the phase-space axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Two-argument minmod: the smaller-magnitude one if signs agree, else 0."""
+    return 0.5 * (np.sign(a) + np.sign(b)) * np.minimum(np.abs(a), np.abs(b))
+
+
+def minmod4(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Four-argument minmod (Suresh & Huynh Eq. 2.26)."""
+    sgn = 0.125 * (np.sign(a) + np.sign(b)) * np.abs(
+        (np.sign(a) + np.sign(c)) * (np.sign(a) + np.sign(d))
+    )
+    return sgn * np.minimum(
+        np.minimum(np.abs(a), np.abs(b)), np.minimum(np.abs(c), np.abs(d))
+    )
+
+
+def median3(x: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Median of three values, written as x + minmod(lo - x, hi - x)."""
+    return x + minmod(lo - x, hi - x)
+
+
+def mp_limit_interface(
+    f_interface: np.ndarray,
+    stencil: np.ndarray,
+    alpha_mp: float = 4.0,
+    eps: float = 0.0,
+) -> np.ndarray:
+    """Apply the Suresh-Huynh MP constraint to an interface value.
+
+    The flow is rightward out of donor cell j; ``stencil`` holds the five
+    cell averages ``(f_{j-2}, f_{j-1}, f_j, f_{j+1}, f_{j+2})`` stacked on
+    axis 0.  ``f_interface`` is the unlimited interface (departure-interval
+    average) value produced by the semi-Lagrangian reconstruction.
+
+    Returns the limited interface value: unchanged wherever the data are
+    smooth and monotone (the O(dx^5) accuracy is preserved there), clipped
+    into the MP bounds near discontinuities/extrema.
+
+    Parameters
+    ----------
+    f_interface:
+        Unlimited interface value(s).
+    stencil:
+        Array of shape ``(5,) + f_interface.shape``.
+    alpha_mp:
+        The MP "alpha" parameter bounding the allowed overshoot relative to
+        the upwind slope; Suresh & Huynh recommend 4.
+    eps:
+        Tolerance in the smoothness test; 0 enforces strict bounds.
+    """
+    if stencil.shape[0] != 5:
+        raise ValueError("MP limiter needs a 5-cell stencil")
+    fm2, fm1, f0, fp1, fp2 = (stencil[m] for m in range(5))
+
+    f_mp = f0 + minmod(fp1 - f0, alpha_mp * (f0 - fm1))
+    need = (f_interface - f0) * (f_interface - f_mp) > eps
+
+    if not np.any(need):
+        return f_interface
+
+    f_min, f_max = mp_bounds(stencil, alpha_mp)
+    limited = median3(f_interface, f_min, f_max)
+    return np.where(need, limited, f_interface)
+
+
+def mp_bounds(
+    stencil: np.ndarray, alpha_mp: float = 4.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Suresh-Huynh MP interval [f_min, f_max] for rightward flow.
+
+    The interval always contains the donor average ``f_j``; near smooth
+    extrema the curvature terms (f_MD, f_LC) widen it so that limiting does
+    not degrade the formal order of accuracy, while at discontinuities it
+    collapses to the local data range.
+    """
+    fm2, fm1, f0, fp1, fp2 = (stencil[m] for m in range(5))
+    d_m1 = fm2 - 2.0 * fm1 + f0
+    d_0 = fm1 - 2.0 * f0 + fp1
+    d_p1 = f0 - 2.0 * fp1 + fp2
+    dm4_p = minmod4(4.0 * d_0 - d_p1, 4.0 * d_p1 - d_0, d_0, d_p1)
+    dm4_m = minmod4(4.0 * d_0 - d_m1, 4.0 * d_m1 - d_0, d_0, d_m1)
+
+    f_ul = f0 + alpha_mp * (f0 - fm1)
+    f_av = 0.5 * (f0 + fp1)
+    f_md = f_av - 0.5 * dm4_p
+    f_lc = f0 + 0.5 * (f0 - fm1) + (4.0 / 3.0) * dm4_m
+
+    f_min = np.maximum(
+        np.minimum(np.minimum(f0, fp1), f_md),
+        np.minimum(np.minimum(f0, f_ul), f_lc),
+    )
+    f_max = np.minimum(
+        np.maximum(np.maximum(f0, fp1), f_md),
+        np.maximum(np.maximum(f0, f_ul), f_lc),
+    )
+    return f_min, f_max
+
+
+def mp_limit_departure_average(
+    u: np.ndarray,
+    alpha: np.ndarray,
+    stencil: np.ndarray,
+    alpha_mp: float = 4.0,
+) -> np.ndarray:
+    """MP limiting of the semi-Lagrangian departure-interval average.
+
+    This is the SL-MPP constraint of the paper's scheme [23]: the
+    conservative SL flux donates ``alpha * u`` from donor cell j, where
+    ``u`` is the reconstruction average over the rightmost ``alpha``
+    fraction of the cell.  The updated cell average is the convex
+    combination
+
+        f_i^{n+1} = (1 - alpha) * w_j + alpha * u_{j-1},
+        w_j = (f_j - alpha u_j) / (1 - alpha)   (the remainder average).
+
+    Monotonicity for *any* alpha in [0, 1] therefore follows from keeping
+    ``u_j`` inside the MP interval of cell j's *right* interface and
+    ``w_j`` inside the MP interval of its *left* interface (the mirrored
+    bounds) — no CFL restriction, which is what lets the single-stage
+    scheme run at the advective CFL of the whole step.  The two
+    requirements translate into an intersection interval for u, never
+    empty because u = f_j satisfies both.
+    """
+    if stencil.shape[0] != 5:
+        raise ValueError("MP limiter needs a 5-cell stencil")
+    f0 = stencil[2]
+    b_min, b_max = mp_bounds(stencil, alpha_mp)
+    # remainder average sits at the cell's left edge: mirrored stencil
+    bm_min, bm_max = mp_bounds(stencil[::-1], alpha_mp)
+    tiny = np.asarray(1.0e-7, dtype=u.dtype)
+    safe_alpha = np.maximum(alpha, tiny)
+    lo = np.maximum(b_min, (f0 - (1.0 - alpha) * bm_max) / safe_alpha)
+    hi = np.minimum(b_max, (f0 - (1.0 - alpha) * bm_min) / safe_alpha)
+    return median3(u, lo, hi)
+
+
+def positivity_clamp_fraction(
+    phi: np.ndarray, donor: np.ndarray
+) -> np.ndarray:
+    """Clamp the donated fractional mass into [0, donor-cell mass].
+
+    ``phi`` is the fractional part of the semi-Lagrangian flux — the mass
+    taken from the rightmost ``alpha`` of donor cell j.  Because the
+    departure intervals of consecutive interfaces tile the grid exactly,
+    enforcing ``0 <= phi <= fbar_j`` guarantees the updated averages stay
+    non-negative for *any* CFL number (see DESIGN.md and the tests in
+    ``tests/test_advection_properties.py``).
+    """
+    return np.clip(phi, 0.0, np.maximum(donor, 0.0))
+
+
+def weno_smoothness(stencil: np.ndarray) -> np.ndarray:
+    """Jiang-Shu smoothness indicators of the three quadratic sub-stencils.
+
+    Returns array of shape ``(3,) + stencil.shape[1:]``.  The nonlinear
+    WENO weights are formed in :mod:`repro.core.advection`, where the
+    *ideal* (linear) weights are known — in the semi-Lagrangian setting
+    they depend on the shift fraction alpha.
+    """
+    if stencil.shape[0] != 5:
+        raise ValueError("WENO-5 smoothness needs a 5-cell stencil")
+    fm2, fm1, f0, fp1, fp2 = (stencil[m] for m in range(5))
+    beta0 = (13.0 / 12.0) * (fm2 - 2 * fm1 + f0) ** 2 + 0.25 * (
+        fm2 - 4 * fm1 + 3 * f0
+    ) ** 2
+    beta1 = (13.0 / 12.0) * (fm1 - 2 * f0 + fp1) ** 2 + 0.25 * (fm1 - fp1) ** 2
+    beta2 = (13.0 / 12.0) * (f0 - 2 * fp1 + fp2) ** 2 + 0.25 * (
+        3 * f0 - 4 * fp1 + fp2
+    ) ** 2
+    return np.stack([beta0, beta1, beta2])

@@ -1,0 +1,24 @@
+"""Background cosmology, linear theory, and the relic-neutrino distribution."""
+
+from .background import Cosmology, PLANCK2015_MNU02, PLANCK2015_MNU04
+from .growth import (
+    growth_factor,
+    growth_rate,
+    growth_suppression_factor,
+    neutrino_free_streaming_k,
+)
+from .neutrino import RelicNeutrinoDistribution
+from .power import LinearPower, eisenstein_hu_transfer
+
+__all__ = [
+    "Cosmology",
+    "PLANCK2015_MNU02",
+    "PLANCK2015_MNU04",
+    "growth_factor",
+    "growth_rate",
+    "growth_suppression_factor",
+    "neutrino_free_streaming_k",
+    "RelicNeutrinoDistribution",
+    "LinearPower",
+    "eisenstein_hu_transfer",
+]

@@ -1,0 +1,5 @@
+"""Timers and conservation ledgers."""
+
+from .timers import ConservationLedger, SectionStats, StepTimer
+
+__all__ = ["ConservationLedger", "SectionStats", "StepTimer"]

@@ -1,0 +1,124 @@
+"""Hierarchical wall-clock timers (the paper's measurement mechanism).
+
+The paper: "The performance is evaluated in terms of wall clock elapsed
+time measured with the clock_gettime() system call ... we run the
+simulations by 40 steps and take the median values."  This module
+provides the same discipline: named sections, nesting, per-step laps,
+median/percentile reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SectionStats:
+    """Lap times of one named section."""
+
+    laps: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        """Record one lap."""
+        self.laps.append(seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum of laps."""
+        return float(sum(self.laps))
+
+    @property
+    def median(self) -> float:
+        """Median lap (the paper's reported statistic)."""
+        if not self.laps:
+            raise ValueError("no laps recorded")
+        return float(np.median(self.laps))
+
+    @property
+    def count(self) -> int:
+        """Number of laps."""
+        return len(self.laps)
+
+
+class StepTimer:
+    """Named, nestable wall-clock sections.
+
+    Usage::
+
+        timer = StepTimer()
+        with timer.section("vlasov"):
+            with timer.section("vlasov/drift"):
+                ...
+        print(timer.report())
+    """
+
+    def __init__(self) -> None:
+        self.sections: dict[str, SectionStats] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a code block under ``name``."""
+        self._stack.append(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.sections.setdefault(name, SectionStats()).add(elapsed)
+            self._stack.pop()
+
+    def median(self, name: str) -> float:
+        """Median lap of a section."""
+        if name not in self.sections:
+            raise KeyError(f"no section named {name!r}")
+        return self.sections[name].median
+
+    def report(self) -> str:
+        """Text table: section, laps, median, total."""
+        lines = [f"{'section':<28} {'laps':>5} {'median[s]':>10} {'total[s]':>10}"]
+        for name in sorted(self.sections):
+            s = self.sections[name]
+            lines.append(
+                f"{name:<28} {s.count:>5} {s.median:>10.4f} {s.total:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ConservationLedger:
+    """Tracks conserved quantities across a run.
+
+    Register the initial values once; ``check`` returns the worst
+    relative drift so far — the tests assert it stays within scheme
+    guarantees (mass: machine epsilon; energy: splitting-order drift).
+    """
+
+    initial: dict[str, float] = field(default_factory=dict)
+    history: dict[str, list[float]] = field(default_factory=dict)
+
+    def register(self, **quantities: float) -> None:
+        """Record initial values."""
+        for key, value in quantities.items():
+            self.initial[key] = float(value)
+            self.history[key] = [float(value)]
+
+    def update(self, **quantities: float) -> None:
+        """Record current values."""
+        for key, value in quantities.items():
+            if key not in self.initial:
+                raise KeyError(f"{key!r} was never registered")
+            self.history[key].append(float(value))
+
+    def relative_drift(self, key: str) -> float:
+        """Largest |q/q0 - 1| seen for one quantity."""
+        if key not in self.initial:
+            raise KeyError(f"{key!r} was never registered")
+        q0 = self.initial[key]
+        if q0 == 0.0:
+            return max(abs(q) for q in self.history[key])
+        return max(abs(q / q0 - 1.0) for q in self.history[key])

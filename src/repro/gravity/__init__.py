@@ -1,0 +1,5 @@
+"""Shared gravitational substrate: the periodic FFT Poisson solver."""
+
+from .poisson import PeriodicPoissonSolver, gravity_source
+
+__all__ = ["PeriodicPoissonSolver", "gravity_source"]

@@ -1,0 +1,181 @@
+"""Periodic FFT Poisson solver (paper Eq. 2, solved by the convolution
+method of Hockney & Eastwood [11]).
+
+Both matter components share this solver: the PM part of the TreePM N-body
+code and the velocity-space kick of the Vlasov solver differentiate the
+same potential.
+
+Conventions
+-----------
+The solver works on the *generic* equation  laplacian(phi) = source  on a
+periodic box; the physics prefactors live in the callers:
+
+* cosmological gravity (comoving coordinates, canonical velocity
+  u = a^2 dx/dt):  source = (4 pi G / a) * (rho_com - mean(rho_com)),
+  where rho_com is the comoving mass density.  (Equivalent to the paper's
+  Eq. 2 with the proper density rho_proper = rho_com / a^3.)
+* electrostatic plasma (normalized units): source = rho_e - rho_ion.
+
+Green's functions
+-----------------
+``spectral``   exact continuum kernel -1/k^2.
+``discrete``   eigenvalues of the 2nd-order finite-difference Laplacian,
+               -(2/dx^2)(1 - cos k dx) summed over axes; consistent with
+               finite-difference gradients and the classic PM choice.
+
+Gradients: ``spectral`` (ik), ``fd2``, ``fd4`` (2nd/4th-order centered
+differences) — the paper's PM force interpolation differentiates the mesh
+potential with finite differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+_GREENS = ("spectral", "discrete")
+_GRADIENTS = ("spectral", "fd2", "fd4")
+
+
+@dataclass(frozen=True)
+class PeriodicPoissonSolver:
+    """FFT-based Poisson solver on a periodic rectangular mesh.
+
+    Attributes
+    ----------
+    nx:
+        Mesh points per axis (1 to 3 axes).
+    box_size:
+        Physical box size per axis (cubic box: same L each axis).
+    green:
+        Green's function variant (see module docstring).
+    """
+
+    nx: tuple[int, ...]
+    box_size: float
+    green: str = "spectral"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nx", tuple(int(n) for n in self.nx))
+        if not 1 <= len(self.nx) <= 3:
+            raise ValueError("1 to 3 dimensions supported")
+        if any(n < 2 for n in self.nx):
+            raise ValueError("need at least 2 mesh points per axis")
+        if self.box_size <= 0.0:
+            raise ValueError("box_size must be positive")
+        if self.green not in _GREENS:
+            raise ValueError(f"green must be one of {_GREENS}")
+
+    @property
+    def dim(self) -> int:
+        """Number of axes."""
+        return len(self.nx)
+
+    @property
+    def dx(self) -> tuple[float, ...]:
+        """Mesh spacings."""
+        return tuple(self.box_size / n for n in self.nx)
+
+    @cached_property
+    def _k_axes(self) -> tuple[np.ndarray, ...]:
+        """Angular wavenumbers per axis (rfft layout on the last axis)."""
+        ks = []
+        for d, n in enumerate(self.nx):
+            if d == self.dim - 1:
+                k = 2.0 * np.pi * np.fft.rfftfreq(n, d=self.dx[d])
+            else:
+                k = 2.0 * np.pi * np.fft.fftfreq(n, d=self.dx[d])
+            shape = [1] * self.dim
+            shape[d] = k.size
+            ks.append(k.reshape(shape))
+        return tuple(ks)
+
+    @cached_property
+    def _inv_laplacian(self) -> np.ndarray:
+        """-1/k^2 (or discrete equivalent), with the k=0 mode zeroed."""
+        if self.green == "spectral":
+            k2 = sum(k**2 for k in self._k_axes)
+        else:
+            k2 = np.zeros((), dtype=np.float64)
+            for d, k in enumerate(self._k_axes):
+                h = self.dx[d]
+                k2 = k2 + (2.0 / h**2) * (1.0 - np.cos(k * h))
+        k2 = np.asarray(k2, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            inv = -1.0 / k2
+        inv[(0,) * self.dim] = 0.0
+        return inv
+
+    # ------------------------------------------------------------------
+
+    def potential(self, source: np.ndarray) -> np.ndarray:
+        """Solve laplacian(phi) = source; the mean of phi is gauged to zero.
+
+        The k = 0 mode of the source is discarded (periodic boxes only
+        admit solutions for zero-mean sources; callers subtract the mean
+        density — the paper's Eq. 2 subtracts rho_bar for exactly this
+        reason).
+        """
+        if source.shape != self.nx:
+            raise ValueError(f"source shape {source.shape} != mesh {self.nx}")
+        s_k = np.fft.rfftn(source.astype(np.float64, copy=False))
+        phi_k = s_k * self._inv_laplacian
+        return np.fft.irfftn(phi_k, s=self.nx, axes=range(self.dim))
+
+    def gradient(self, phi: np.ndarray, axis: int, method: str = "fd4") -> np.ndarray:
+        """d(phi)/dx_axis on the mesh."""
+        if method not in _GRADIENTS:
+            raise ValueError(f"method must be one of {_GRADIENTS}")
+        if phi.shape != self.nx:
+            raise ValueError(f"phi shape {phi.shape} != mesh {self.nx}")
+        h = self.dx[axis]
+        if method == "spectral":
+            phi_k = np.fft.rfftn(phi)
+            return np.fft.irfftn(phi_k * (1j * self._k_axes[axis]), s=self.nx, axes=range(self.dim))
+        if method == "fd2":
+            return (np.roll(phi, -1, axis) - np.roll(phi, 1, axis)) / (2.0 * h)
+        # fd4
+        return (
+            -np.roll(phi, -2, axis)
+            + 8.0 * np.roll(phi, -1, axis)
+            - 8.0 * np.roll(phi, 1, axis)
+            + np.roll(phi, 2, axis)
+        ) / (12.0 * h)
+
+    def acceleration(
+        self, source: np.ndarray, method: str = "fd4"
+    ) -> np.ndarray:
+        """-grad(phi) for laplacian(phi) = source; shape (dim,) + nx."""
+        phi = self.potential(source)
+        out = np.empty((self.dim,) + self.nx, dtype=np.float64)
+        for d in range(self.dim):
+            out[d] = -self.gradient(phi, d, method)
+        return out
+
+
+def gravity_source(
+    rho_com: np.ndarray, g_newton: float, a: float
+) -> np.ndarray:
+    """Source term of the comoving Poisson equation (paper Eq. 2).
+
+    Parameters
+    ----------
+    rho_com:
+        Comoving mass density (mass per comoving volume).
+    g_newton:
+        Gravitational constant in the caller's unit system.
+    a:
+        Scale factor.
+
+    Returns
+    -------
+    numpy.ndarray
+        (4 pi G / a) * (rho_com - mean), ready for
+        :meth:`PeriodicPoissonSolver.potential`.
+    """
+    if a <= 0.0:
+        raise ValueError("scale factor must be positive")
+    rho = np.asarray(rho_com, dtype=np.float64)
+    return (4.0 * np.pi * g_newton / a) * (rho - rho.mean())

@@ -1,0 +1,19 @@
+"""Timed snapshot/checkpoint I/O."""
+
+from .snapshot import (
+    FORMAT_VERSION,
+    IOTimer,
+    read_checkpoint,
+    read_snapshot,
+    write_checkpoint,
+    write_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IOTimer",
+    "read_checkpoint",
+    "read_snapshot",
+    "write_checkpoint",
+    "write_snapshot",
+]

@@ -1,0 +1,28 @@
+"""TreePM N-body substrate for the CDM component."""
+
+from .direct import direct_accel_minimum_image, direct_accel_open, ewald_accel
+from .integrator import LeapfrogKDK, scale_factor_steps
+from .particles import ParticleSet
+from .phantom import InteractionCounter, accel_batched, accel_scalar, shortrange_factor
+from .pm import PMSolver, assign_mass, interpolate_mesh
+from .tree import BarnesHutTree
+from .treepm import TreePMSolver, pm_mesh_for_particles
+
+__all__ = [
+    "direct_accel_minimum_image",
+    "direct_accel_open",
+    "ewald_accel",
+    "LeapfrogKDK",
+    "scale_factor_steps",
+    "ParticleSet",
+    "InteractionCounter",
+    "accel_batched",
+    "accel_scalar",
+    "shortrange_factor",
+    "PMSolver",
+    "assign_mass",
+    "interpolate_mesh",
+    "BarnesHutTree",
+    "TreePMSolver",
+    "pm_mesh_for_particles",
+]

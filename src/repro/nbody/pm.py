@@ -1,0 +1,262 @@
+"""Particle-Mesh gravity: mass assignment, mesh solve, force interpolation.
+
+The PM scheme computes the long-range gravitational force of the TreePM
+split (paper §5.1.2): the CDM density (plus the neutrino density from the
+Vlasov solver) is assigned to the PM mesh, the Poisson equation is solved
+by FFT convolution [11], and the force is interpolated back to arbitrary
+positions by differentiating the mesh potential.
+
+Mass-assignment windows: NGP, CIC, TSC (orders 1-3).  The same window must
+be used for interpolation back to the particles to keep the scheme
+momentum-conserving (no self-force), which the tests verify.
+
+The ``r_split`` option applies the Gaussian TreePM cut exp(-k^2 r_s^2) so
+that PM carries only the long-range component; the complementary erfc
+short-range force lives in :mod:`repro.nbody.phantom`/``tree``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..gravity.poisson import PeriodicPoissonSolver
+
+_WINDOWS = ("ngp", "cic", "tsc")
+
+
+def assign_mass(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    n_mesh: tuple[int, ...],
+    box_size: float,
+    window: str = "cic",
+) -> np.ndarray:
+    """Deposit particle masses onto a periodic mesh.
+
+    Returns the *density* mesh (mass per mesh-cell volume).
+    """
+    if window not in _WINDOWS:
+        raise ValueError(f"window must be one of {_WINDOWS}")
+    positions = np.asarray(positions, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    n, dim = positions.shape
+    if len(n_mesh) != dim:
+        raise ValueError("mesh dimensionality must match positions")
+    mesh = np.zeros(n_mesh, dtype=np.float64)
+    scaled = positions / box_size * np.array(n_mesh)  # in cell units
+
+    offsets, weights = _window_offsets_weights(scaled, n_mesh, window)
+    flat = np.zeros(mesh.size, dtype=np.float64)
+    strides = np.array(
+        [int(np.prod(n_mesh[d + 1 :])) for d in range(dim)], dtype=np.int64
+    )
+    for off, w in zip(offsets, weights):
+        idx = (off * strides).sum(axis=1)
+        np.add.at(flat, idx, masses * w)
+    mesh += flat.reshape(n_mesh)
+    cell_vol = (box_size / np.array(n_mesh)).prod()
+    return mesh / cell_vol
+
+
+def interpolate_mesh(
+    mesh: np.ndarray,
+    positions: np.ndarray,
+    box_size: float,
+    window: str = "cic",
+) -> np.ndarray:
+    """Interpolate a mesh field to particle positions with the same window."""
+    if window not in _WINDOWS:
+        raise ValueError(f"window must be one of {_WINDOWS}")
+    positions = np.asarray(positions, dtype=np.float64)
+    n_mesh = mesh.shape
+    dim = positions.shape[1]
+    scaled = positions / box_size * np.array(n_mesh)
+    offsets, weights = _window_offsets_weights(scaled, n_mesh, window)
+    flat = mesh.reshape(-1)
+    strides = np.array(
+        [int(np.prod(n_mesh[d + 1 :])) for d in range(dim)], dtype=np.int64
+    )
+    out = np.zeros(positions.shape[0], dtype=np.float64)
+    for off, w in zip(offsets, weights):
+        idx = (off * strides).sum(axis=1)
+        out += flat[idx] * w
+    return out
+
+
+def _window_offsets_weights(scaled, n_mesh, window):
+    """Per-particle (cell-index, weight) pairs for the chosen window.
+
+    ``scaled`` is the position in cell units.  Yields one (idx, w) pair per
+    point of the window support (1, 2^dim, or 3^dim), each idx of shape
+    (N, dim) already wrapped, each w of shape (N,).
+    """
+    n, dim = scaled.shape
+    nm = np.array(n_mesh, dtype=np.int64)
+    if window == "ngp":
+        base = np.floor(scaled).astype(np.int64) % nm
+        return [base], [np.ones(n)]
+
+    if window == "cic":
+        lo = np.floor(scaled - 0.5).astype(np.int64)
+        frac = scaled - 0.5 - lo  # in [0,1): weight of the hi cell
+        corners, weights = [], []
+        for bits in range(2**dim):
+            sel = np.array([(bits >> d) & 1 for d in range(dim)], dtype=np.int64)
+            idx = (lo + sel) % nm
+            w = np.ones(n)
+            for d in range(dim):
+                w = w * (frac[:, d] if sel[d] else 1.0 - frac[:, d])
+            corners.append(idx)
+            weights.append(w)
+        return corners, weights
+
+    # tsc: quadratic spline over 3 cells per axis
+    center = np.floor(scaled).astype(np.int64)
+    dx = scaled - (center + 0.5)  # distance from the center-cell midpoint
+    w_axis = np.empty((dim, 3, n))
+    w_axis[:, 0] = (0.5 * (0.5 - dx) ** 2).T
+    w_axis[:, 1] = (0.75 - dx**2).T
+    w_axis[:, 2] = (0.5 * (0.5 + dx) ** 2).T
+    corners, weights = [], []
+    for code in range(3**dim):
+        sel = []
+        c = code
+        for _ in range(dim):
+            sel.append(c % 3)
+            c //= 3
+        sel = np.array(sel, dtype=np.int64)
+        idx = (center + (sel - 1)) % nm
+        w = np.ones(n)
+        for d in range(dim):
+            w = w * w_axis[d, sel[d]]
+        corners.append(idx)
+        weights.append(w)
+    return corners, weights
+
+
+def window_deconvolution(n_mesh, box_size, window: str) -> np.ndarray:
+    """k-space |W(k)|^p correction for the assignment window (rfft layout).
+
+    Dividing the density by W once compensates assignment; dividing the
+    force by W again compensates interpolation (the usual PM practice).
+    Returns the *single* window W(k); callers divide by W**2 when both
+    corrections are wanted.
+    """
+    p = {"ngp": 1, "cic": 2, "tsc": 3}[window]
+    dim = len(n_mesh)
+    w = np.ones((), dtype=np.float64)
+    for d, nd in enumerate(n_mesh):
+        if d == dim - 1:
+            k_frac = np.fft.rfftfreq(nd)  # k * dx / (2 pi)
+        else:
+            k_frac = np.fft.fftfreq(nd)
+        arg = np.pi * k_frac
+        wd = np.ones_like(arg)
+        nz = arg != 0.0
+        wd[nz] = (np.sin(arg[nz]) / arg[nz]) ** p
+        shape = [1] * dim
+        shape[d] = wd.size
+        w = w * wd.reshape(shape)
+    return w
+
+
+@dataclass(frozen=True)
+class PMSolver:
+    """Particle-Mesh force solver on a periodic box.
+
+    Parameters
+    ----------
+    n_mesh:
+        PM mesh points per axis (the paper sizes it as
+        N_PM = N_CDM / 3^3 for runtime balance, §5.1.2).
+    box_size:
+        Periodic box size.
+    window:
+        Mass-assignment/interpolation window.
+    r_split:
+        TreePM splitting scale; None disables the long-range Gaussian cut
+        (plain PM).
+    deconvolve:
+        Apply the |W|^2 window deconvolution in k-space.  Off by default:
+        dividing by W^2 amplifies the near-Nyquist modes (up to ~15x for
+        TSC), which over-corrects the pair force unless something else
+        suppresses high k.  With the finite-difference gradient the window
+        and gradient attenuations approximately compensate (the pair force
+        is Newton-exact to ~0.1% in the tests); enable deconvolution only
+        together with the TreePM Gaussian cut, which kills the dangerous
+        modes — that is what :class:`repro.nbody.treepm.TreePMSolver`
+        does.
+    """
+
+    n_mesh: tuple[int, ...]
+    box_size: float
+    window: str = "cic"
+    r_split: float | None = None
+    deconvolve: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n_mesh", tuple(int(n) for n in self.n_mesh))
+        if self.window not in _WINDOWS:
+            raise ValueError(f"window must be one of {_WINDOWS}")
+
+    @cached_property
+    def poisson(self) -> PeriodicPoissonSolver:
+        """The underlying FFT Poisson solver."""
+        return PeriodicPoissonSolver(self.n_mesh, self.box_size)
+
+    @cached_property
+    def _kernel_extra(self) -> np.ndarray:
+        """Long-range Gaussian cut and/or window deconvolution, k-space."""
+        extra = np.ones((), dtype=np.float64)
+        if self.r_split is not None:
+            k2 = sum(k**2 for k in self.poisson._k_axes)
+            extra = extra * np.exp(-k2 * self.r_split**2)
+        if self.deconvolve:
+            w = window_deconvolution(self.n_mesh, self.box_size, self.window)
+            extra = extra / w**2
+        return np.asarray(extra)
+
+    # ------------------------------------------------------------------
+
+    def density(self, positions, masses) -> np.ndarray:
+        """Assigned density mesh."""
+        return assign_mass(positions, masses, self.n_mesh, self.box_size, self.window)
+
+    def potential_mesh(self, source: np.ndarray) -> np.ndarray:
+        """Solve laplacian(phi) = source with the PM extras applied."""
+        s_k = np.fft.rfftn(source.astype(np.float64, copy=False))
+        phi_k = s_k * self.poisson._inv_laplacian * self._kernel_extra
+        return np.fft.irfftn(phi_k, s=self.n_mesh, axes=range(len(self.n_mesh)))
+
+    def acceleration_mesh(self, source: np.ndarray, method: str = "fd4") -> np.ndarray:
+        """-grad(phi) on the mesh, shape (dim,) + n_mesh."""
+        phi = self.potential_mesh(source)
+        dim = len(self.n_mesh)
+        out = np.empty((dim,) + self.n_mesh, dtype=np.float64)
+        for d in range(dim):
+            out[d] = -self.poisson.gradient(phi, d, method)
+        return out
+
+    def accelerations(
+        self,
+        positions: np.ndarray,
+        source: np.ndarray,
+        method: str = "fd4",
+    ) -> np.ndarray:
+        """PM acceleration interpolated to the given positions.
+
+        ``source`` is the Poisson source term (the caller multiplies the
+        density contrast by 4 pi G / a, see
+        :func:`repro.gravity.poisson.gravity_source`).
+        """
+        acc_mesh = self.acceleration_mesh(source, method)
+        dim = len(self.n_mesh)
+        out = np.empty((positions.shape[0], dim), dtype=np.float64)
+        for d in range(dim):
+            out[:, d] = interpolate_mesh(
+                acc_mesh[d], positions, self.box_size, self.window
+            )
+        return out

@@ -1,0 +1,38 @@
+"""Virtual parallel runtime: decomposition, vMPI, ghost exchange, pencil FFT."""
+
+from .decomposition import GHOST_WIDTH, DomainDecomposition
+from .exchange import (
+    decomposed_spatial_advect,
+    decomposed_velocity_advect,
+    exchange_ghosts,
+    required_ghost,
+)
+from .fft_decomp import PencilGrid, pencil_fft3d
+from .particle_exchange import (
+    decompose_particles,
+    exchange_boundary_particles,
+    migrate_particles,
+    owner_of,
+)
+from .vmpi import CollectiveRecord, CommLog, MessageRecord, VirtualComm
+
+__all__ = [
+    "GHOST_WIDTH",
+    "DomainDecomposition",
+    "decomposed_spatial_advect",
+    "decomposed_velocity_advect",
+    "exchange_ghosts",
+    "required_ghost",
+    "PencilGrid",
+    "decompose_particles",
+    "exchange_boundary_particles",
+    "migrate_particles",
+    "owner_of",
+    "pencil_fft3d",
+    "CollectiveRecord",
+    "CommLog",
+    "MessageRecord",
+    "VirtualComm",
+    "multiprocess_spatial_advect",
+]
+from .localcluster import multiprocess_spatial_advect

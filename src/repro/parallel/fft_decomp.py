@@ -1,0 +1,154 @@
+"""Two-dimensionally decomposed (pencil) parallel 3-D FFT.
+
+The paper's PM part uses the Fujitsu SSL II/MPI parallel FFT, which
+"supports the two-dimensionally decomposed data layout": a 3-D transform
+over an ``n_x x n_y`` process grid proceeds as
+
+    local FFT along z  ->  alltoall transpose (z <-> y within columns)
+    local FFT along y  ->  alltoall transpose (y <-> x within rows)
+    local FFT along x
+
+so its parallelism saturates at ``n_x * n_y`` processes — adding ranks
+along the third decomposition axis does not speed it up.  That saturation
+is exactly why the PM part's weak/strong scaling collapses in the paper's
+Tables 3-4 while everything else scales.  This module implements the
+pencil pipeline on the virtual runtime (numerically exact, alltoalls
+logged), and the machine model replays its communication pattern at scale.
+
+Layout convention: the global complex array has shape (nx, ny, nz); rank
+(px, py) of a (p1, p2) grid owns the block ``x in slab(px), y in
+slab(py), all z`` in the starting layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vmpi import CollectiveRecord, VirtualComm
+
+
+@dataclass(frozen=True)
+class PencilGrid:
+    """Geometry of the 2-D-decomposed FFT."""
+
+    n_mesh: tuple[int, int, int]
+    p1: int
+    p2: int
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.n_mesh
+        if nx % self.p1 or ny % self.p2 or ny % self.p1 or nz % self.p2:
+            raise ValueError(
+                "mesh extents must divide evenly by the process grid "
+                "(both in the start and transposed layouts)"
+            )
+        if self.p1 < 1 or self.p2 < 1:
+            raise ValueError("process grid extents must be >= 1")
+
+    @property
+    def size(self) -> int:
+        """Number of ranks participating in the FFT."""
+        return self.p1 * self.p2
+
+    def rank_of(self, px: int, py: int) -> int:
+        """Rank index of grid coordinates."""
+        return px * self.p2 + py
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates of a rank."""
+        return divmod(rank, self.p2)
+
+    def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
+        """Split the global (nx, ny, nz) array into start-layout pencils."""
+        nx, ny, nz = self.n_mesh
+        if global_array.shape != self.n_mesh:
+            raise ValueError("global array shape mismatch")
+        bx, by = nx // self.p1, ny // self.p2
+        return [
+            np.ascontiguousarray(
+                global_array[px * bx : (px + 1) * bx, py * by : (py + 1) * by, :]
+            )
+            for px in range(self.p1)
+            for py in range(self.p2)
+        ]
+
+    def gather(self, pencils: list[np.ndarray]) -> np.ndarray:
+        """Reassemble start-layout pencils into the global array."""
+        nx, ny, nz = self.n_mesh
+        bx, by = nx // self.p1, ny // self.p2
+        out = np.empty(self.n_mesh, dtype=pencils[0].dtype)
+        for rank, blk in enumerate(pencils):
+            px, py = self.coords_of(rank)
+            out[px * bx : (px + 1) * bx, py * by : (py + 1) * by, :] = blk
+        return out
+
+
+def _transpose_within_groups(
+    pencils: list[np.ndarray],
+    grid: PencilGrid,
+    comm: VirtualComm,
+    group_axis: int,
+    local_axes: tuple[int, int],
+    tag: str,
+) -> list[np.ndarray]:
+    """Alltoall transpose exchanging data among one process-grid axis.
+
+    ``group_axis`` 0 redistributes along p1 (rows share py), 1 along p2.
+    ``local_axes`` = (axis_split_now, axis_gathered_now): each rank splits
+    its block along ``axis_split_now`` into group-size chunks and receives
+    the matching chunks of its group peers concatenated along
+    ``axis_gathered_now``.
+    """
+    group_size = grid.p1 if group_axis == 0 else grid.p2
+    split_ax, gather_ax = local_axes
+    new = [None] * grid.size
+    per_rank_bytes = 0
+    n_msgs = 0
+    for fixed in range(grid.p2 if group_axis == 0 else grid.p1):
+        # collect the ranks of this group
+        if group_axis == 0:
+            ranks = [grid.rank_of(g, fixed) for g in range(group_size)]
+        else:
+            ranks = [grid.rank_of(fixed, g) for g in range(group_size)]
+        chunks = [np.array_split(pencils[r], group_size, axis=split_ax) for r in ranks]
+        for gi, r in enumerate(ranks):
+            parts = [chunks[gj][gi] for gj in range(group_size)]
+            new[r] = np.ascontiguousarray(np.concatenate(parts, axis=gather_ax))
+            for gj in range(group_size):
+                if gj != gi:
+                    per_rank_bytes += chunks[gj][gi].nbytes
+                    n_msgs += 1
+    comm.log.collectives.append(
+        CollectiveRecord(
+            "alltoall", group_size, per_rank_bytes // max(grid.size, 1), tag
+        )
+    )
+    return new  # type: ignore[return-value]
+
+
+def pencil_fft3d(
+    pencils: list[np.ndarray], grid: PencilGrid, comm: VirtualComm, inverse: bool = False
+) -> list[np.ndarray]:
+    """Distributed 3-D complex FFT over start-layout pencils.
+
+    Returns pencils in the *same* start layout (two extra transposes bring
+    the data home, as SSL II does).  Numerically identical to
+    ``np.fft.fftn`` on the gathered array.
+    """
+    fft = np.fft.ifft if inverse else np.fft.fft
+    work = [np.asarray(p, dtype=np.complex128) for p in pencils]
+
+    # z is fully local in the start layout
+    work = [fft(p, axis=2) for p in work]
+    # transpose y <-> z among p2 (each rank splits z, gathers y)
+    work = _transpose_within_groups(work, grid, comm, 1, (2, 1), "fft-yz")
+    work = [fft(p, axis=1) for p in work]
+    # transpose x <-> y ... x is split over p1; exchange along p1
+    work = _transpose_within_groups(work, grid, comm, 0, (1, 0), "fft-xy")
+    work = [fft(p, axis=0) for p in work]
+    # bring home: inverse transposes
+    work = _transpose_within_groups(work, grid, comm, 0, (0, 1), "fft-xy-back")
+    work = _transpose_within_groups(work, grid, comm, 1, (1, 2), "fft-zy-back")
+    return work

@@ -1,0 +1,5 @@
+"""Plasma applications: the paper's §8 extension directions."""
+
+from .vlasov_maxwell import VlasovMaxwell1D2V
+
+__all__ = ["VlasovMaxwell1D2V"]

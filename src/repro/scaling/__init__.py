@@ -1,0 +1,40 @@
+"""Scaling experiments and time-to-solution analysis (paper §7)."""
+
+from .experiments import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    EfficiencyRow,
+    figure7_series,
+    format_efficiency_table,
+    run_config_table,
+    strong_scaling_table,
+    weak_scaling_table,
+)
+from .runs import TABLE2, RunConfig, by_id, group_runs
+from .tts import (
+    TimeToSolution,
+    effective_resolution_cells,
+    equivalent_run_for_sn,
+    format_tts_report,
+    model_end_to_end,
+)
+
+__all__ = [
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "EfficiencyRow",
+    "figure7_series",
+    "format_efficiency_table",
+    "run_config_table",
+    "strong_scaling_table",
+    "weak_scaling_table",
+    "TABLE2",
+    "RunConfig",
+    "by_id",
+    "group_runs",
+    "TimeToSolution",
+    "effective_resolution_cells",
+    "equivalent_run_for_sn",
+    "format_tts_report",
+    "model_end_to_end",
+]

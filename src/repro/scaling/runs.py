@@ -1,0 +1,131 @@
+"""The run matrix of the paper's Table 2.
+
+Naming: S/M/L/H/U encode the Vlasov spatial resolution (96^3, 192^3,
+384^3, 768^3, 1152^3); the number suffix counts nodes in units of 144.
+N_u = 64^3 everywhere; N_CDM = 9^3 N_x except U1024 (which keeps H's
+6912^3).  ``n_proc`` is the (n_x, n_y, n_z) domain decomposition and
+``procs_per_node`` distinguishes the 2-CMG-per-process runs from the
+1-CMG-per-process (4 process/node) H group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One row of Table 2."""
+
+    run_id: str
+    nx: int  # Vlasov spatial grid per axis
+    nu: int  # Vlasov velocity grid per axis
+    n_cdm_side: int  # CDM particles per axis
+    n_node: int
+    n_proc: tuple[int, int, int]
+    procs_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.n_procs != self.n_node * self.procs_per_node:
+            raise ValueError(
+                f"{self.run_id}: decomposition {self.n_proc} gives "
+                f"{self.n_procs} processes but {self.n_node} nodes x "
+                f"{self.procs_per_node} proc/node = "
+                f"{self.n_node * self.procs_per_node}"
+            )
+        for n, p in zip((self.nx,) * 3, self.n_proc):
+            if n % p:
+                raise ValueError(f"{self.run_id}: {n} not divisible by {p}")
+
+    # -- derived sizes ----------------------------------------------------
+
+    @property
+    def n_procs(self) -> int:
+        """Total MPI processes."""
+        return int(np.prod(self.n_proc))
+
+    @property
+    def cmg_per_proc(self) -> int:
+        """CMGs available to each process (4 CMGs per node)."""
+        return 4 // self.procs_per_node
+
+    @property
+    def phase_space_cells(self) -> int:
+        """Total Vlasov cells ('grids'): N_x^3 * N_u^3."""
+        return self.nx**3 * self.nu**3
+
+    @property
+    def local_nx(self) -> tuple[int, int, int]:
+        """Local spatial extent per process."""
+        return tuple(self.nx // p for p in self.n_proc)
+
+    @property
+    def local_cells(self) -> int:
+        """Vlasov cells per process."""
+        return int(np.prod(self.local_nx)) * self.nu**3
+
+    @property
+    def n_cdm(self) -> int:
+        """Total CDM particles."""
+        return self.n_cdm_side**3
+
+    @property
+    def local_particles(self) -> float:
+        """Mean CDM particles per process."""
+        return self.n_cdm / self.n_procs
+
+    @property
+    def n_pm_side(self) -> int:
+        """PM mesh per axis: the paper's N_PM = N_CDM / 3^3 rule."""
+        return self.n_cdm_side // 3
+
+    @property
+    def fft_parallelism(self) -> int:
+        """Processes the 2-D-decomposed FFT can actually use: n_x * n_y."""
+        return self.n_proc[0] * self.n_proc[1]
+
+    @property
+    def group(self) -> str:
+        """Run group letter."""
+        return self.run_id[0]
+
+
+#: Table 2, verbatim.
+TABLE2: tuple[RunConfig, ...] = (
+    RunConfig("S1", 96, 64, 864, 144, (12, 12, 2), 2),
+    RunConfig("S2", 96, 64, 864, 288, (12, 12, 4), 2),
+    RunConfig("S4", 96, 64, 864, 576, (12, 12, 8), 2),
+    RunConfig("M8", 192, 64, 1728, 1152, (24, 24, 4), 2),
+    RunConfig("M12", 192, 64, 1728, 1728, (24, 24, 6), 2),
+    RunConfig("M16", 192, 64, 1728, 2304, (24, 24, 8), 2),
+    RunConfig("M24", 192, 64, 1728, 3456, (24, 24, 12), 2),
+    RunConfig("M32", 192, 64, 1728, 4608, (24, 24, 16), 2),
+    RunConfig("L48", 384, 64, 3456, 6912, (48, 48, 6), 2),
+    RunConfig("L64", 384, 64, 3456, 9216, (48, 48, 8), 2),
+    RunConfig("L96", 384, 64, 3456, 13824, (48, 48, 12), 2),
+    RunConfig("L128", 384, 64, 3456, 18432, (48, 48, 16), 2),
+    RunConfig("L256", 384, 64, 3456, 36864, (48, 48, 32), 2),
+    RunConfig("H384", 768, 64, 6912, 55296, (96, 96, 24), 4),
+    RunConfig("H512", 768, 64, 6912, 73728, (96, 96, 32), 4),
+    RunConfig("H768", 768, 64, 6912, 110592, (96, 96, 48), 4),
+    RunConfig("H1024", 768, 64, 6912, 147456, (96, 96, 64), 4),
+    RunConfig("U1024", 1152, 64, 6912, 147456, (48, 48, 128), 2),
+)
+
+
+def by_id(run_id: str) -> RunConfig:
+    """Look a run up by its Table 2 name."""
+    for run in TABLE2:
+        if run.run_id == run_id:
+            return run
+    raise KeyError(f"unknown run id {run_id!r}")
+
+
+def group_runs(letter: str) -> list[RunConfig]:
+    """All runs of one group (S/M/L/H/U), in node order."""
+    runs = [r for r in TABLE2 if r.group == letter]
+    if not runs:
+        raise KeyError(f"no runs in group {letter!r}")
+    return sorted(runs, key=lambda r: r.n_node)

@@ -1,0 +1,43 @@
+"""SIMD register simulation, the LAT transpose, and Table 1 kernel analogs."""
+
+from .kernels import (
+    FLOPS_PER_CELL,
+    gflops,
+    sweep_cols_lat,
+    sweep_cols_strided,
+    sweep_cols_vectorized,
+    sweep_rows,
+    sweep_scalar,
+)
+from .register import (
+    SVE_DP_LANES,
+    SVE_SP_LANES,
+    InstructionCount,
+    SimdMachine,
+    SimdRegister,
+)
+from .transpose import (
+    lat_shuffle_count,
+    register_transpose,
+    tile_transpose_blocked,
+    transpose_tile_with_machine,
+)
+
+__all__ = [
+    "FLOPS_PER_CELL",
+    "gflops",
+    "sweep_cols_lat",
+    "sweep_cols_strided",
+    "sweep_cols_vectorized",
+    "sweep_rows",
+    "sweep_scalar",
+    "SVE_DP_LANES",
+    "SVE_SP_LANES",
+    "InstructionCount",
+    "SimdMachine",
+    "SimdRegister",
+    "lat_shuffle_count",
+    "register_transpose",
+    "tile_transpose_blocked",
+    "transpose_tile_with_machine",
+]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology import Cosmology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; reseed per test for reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def cosmo() -> Cosmology:
+    """The paper's fiducial cosmology (M_nu = 0.4 eV)."""
+    return Cosmology(m_nu_total_ev=0.4)
+
+
+@pytest.fixture(scope="session")
+def cosmo_light() -> Cosmology:
+    """The 0.2 eV variant of Fig. 4."""
+    return Cosmology(m_nu_total_ev=0.2)
+
+
+def cell_averages(func_primitive, n: int, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
+    """Exact cell averages of a function given its primitive."""
+    edges = np.linspace(lo, hi, n + 1)
+    dx = (hi - lo) / n
+    prim = func_primitive(edges)
+    return (prim[1:] - prim[:-1]) / dx
+
+
+def sine_primitive(x: np.ndarray) -> np.ndarray:
+    """Primitive of 2 + sin(2 pi x) (positive smooth periodic profile)."""
+    return 2.0 * x - np.cos(2.0 * np.pi * x) / (2.0 * np.pi)

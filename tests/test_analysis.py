@@ -1,0 +1,176 @@
+"""Analysis: shot-noise algebra and Vlasov-vs-N-body comparisons
+(the quantitative content of paper Figs. 5-6 and §7.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_noise,
+    effective_resolution,
+    expected_density_rms,
+    local_velocity_distribution,
+    particle_moments_on_grid,
+    particle_velocity_histogram,
+    power_spectrum_shot_noise,
+    sn_at_resolution,
+    vlasov_moments_on_grid,
+)
+from repro.core.mesh import PhaseSpaceGrid
+from repro.cosmology import RelicNeutrinoDistribution
+from repro.ic import neutrino_distribution_function, sample_neutrino_particles
+from repro.nbody.particles import ParticleSet
+
+
+class TestShotNoiseAlgebra:
+    def test_eq9_tiannu_numbers(self):
+        """Paper's worked example: 13824^3 particles, S/N=100 -> L/640."""
+        dl = effective_resolution(1.0, 13824**3, 100.0)
+        assert 1.0 / dl == pytest.approx(640, rel=0.01)
+        dl = effective_resolution(1.0, 13824**3, 50.0)
+        assert 1.0 / dl == pytest.approx(1018, rel=0.01)
+
+    def test_sn_resolution_inverse(self):
+        sn = sn_at_resolution(1.0, 13824**3, 1.0 / 640)
+        assert sn == pytest.approx(100.0, rel=0.02)
+
+    def test_tradeoff_direction(self):
+        """Higher S/N costs resolution: DL grows with S/N."""
+        assert effective_resolution(1.0, 10**9, 100) > effective_resolution(
+            1.0, 10**9, 10
+        )
+
+    def test_power_spectrum_floor(self):
+        assert power_spectrum_shot_noise(100.0, 10**6) == pytest.approx(1.0)
+
+    def test_density_rms(self):
+        assert expected_density_rms(100.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_resolution(1.0, 0, 10.0)
+        with pytest.raises(ValueError):
+            sn_at_resolution(1.0, 100, -1.0)
+        with pytest.raises(ValueError):
+            expected_density_rms(0.0)
+
+
+@pytest.fixture(scope="module")
+def matched_pair():
+    """A Vlasov f and a particle sampling of the *same* distribution —
+    the paper's 'equivalent initial condition' construction."""
+    from repro.units import UnitSystem
+
+    units = UnitSystem()
+    fd = RelicNeutrinoDistribution(0.4 / 3.0, units)
+    grid = PhaseSpaceGrid(
+        nx=(6, 6, 6), nu=(12, 12, 12), box_size=60.0, v_max=fd.velocity_cutoff(0.995)
+    )
+    rng = np.random.default_rng(99)
+    delta = 0.2 * np.sin(2 * np.pi * np.arange(6) / 6).reshape(6, 1, 1) * np.ones(
+        grid.nx
+    )
+    f = neutrino_distribution_function(grid, fd, mean_density=1.0, delta=delta)
+    total_mass = 1.0 * 60.0**3
+    particles = sample_neutrino_particles(
+        40_000, fd, 60.0, total_mass, rng, delta=delta
+    )
+    return grid, f, particles, fd
+
+
+class TestMomentComparison:
+    def test_densities_agree_up_to_shot_noise(self, matched_pair):
+        grid, f, particles, _ = matched_pair
+        v = vlasov_moments_on_grid(f, grid)
+        p = particle_moments_on_grid(particles, grid)
+        rel = (p["density"] - v["density"]) / v["density"].mean()
+        n_per_cell = particles.n / np.prod(grid.nx)
+        # shot-noise scale: 1/sqrt(N_cell); allow 3x for tail
+        assert np.abs(rel).std() < 3.0 / np.sqrt(n_per_cell)
+        assert np.abs(rel).std() > 0.2 / np.sqrt(n_per_cell)  # and not zero
+
+    def test_noise_comparison_summary(self, matched_pair):
+        grid, f, particles, _ = matched_pair
+        nc = compare_noise(f, grid, particles)
+        # the measured density noise tracks the Poisson prediction
+        assert nc.density_rms_diff == pytest.approx(
+            nc.particle_shot_noise, rel=1.0
+        )
+        assert nc.mean_particles_per_cell == pytest.approx(
+            40_000 / 216, rel=1e-12
+        )
+        # dispersion fields: particle estimate is noisy but unbiased;
+        # RMS difference well below 100%
+        assert nc.dispersion_rms_diff < 0.5
+
+    def test_more_particles_less_noise(self, matched_pair):
+        """The defining scaling: doubling N_s reduces the density noise
+        by sqrt(2) — Fig. 6's message quantified."""
+        grid, f, _, fd = matched_pair
+        rng = np.random.default_rng(1)
+        noises = []
+        for n in (10_000, 40_000, 160_000):
+            particles = sample_neutrino_particles(
+                n, fd, 60.0, 60.0**3, rng
+            )
+            f_uniform = neutrino_distribution_function(grid, fd, 1.0)
+            nc = compare_noise(f_uniform, grid, particles)
+            noises.append(nc.density_rms_diff)
+        assert noises[0] > noises[1] > noises[2]
+        assert noises[0] / noises[2] == pytest.approx(4.0, rel=0.4)
+
+    def test_vlasov_moments_are_smooth(self, matched_pair):
+        """The Vlasov field has *zero* sampling noise: its uniform-delta
+        counterpart gives bitwise-constant density."""
+        grid, _, _, fd = matched_pair
+        f_uniform = neutrino_distribution_function(grid, fd, 1.0)
+        rho = vlasov_moments_on_grid(f_uniform, grid)["density"]
+        assert rho.std() / rho.mean() < 1e-6
+
+
+class TestVelocityDistribution:
+    def test_fig5_smooth_vs_sampled(self, matched_pair):
+        """Fig. 5: the Vlasov velocity distribution at one spatial cell is
+        smooth and matches the Fermi-Dirac shape; the particle histogram
+        in the same cell is sparse and noisy."""
+        grid, f, particles, fd = matched_pair
+        cell = (3, 3, 3)
+        vd = local_velocity_distribution(f, grid, cell)
+        mass_v = vd["mass_per_bin"]
+        # per unit spatial volume, like the Vlasov moment
+        mass_p = particle_velocity_histogram(
+            particles, grid, cell, vd["speed_bins"]
+        ) / grid.cell_volume_x
+
+        # Vlasov curve peaks near the FD mean-speed region
+        centers = 0.5 * (vd["speed_bins"][1:] + vd["speed_bins"][:-1])
+        peak_speed = centers[np.argmax(mass_v)]
+        assert 0.8 * fd.u0 < peak_speed < 4.5 * fd.u0
+
+        # particle histogram: same total mass scale but scattered
+        assert mass_p.sum() == pytest.approx(mass_v.sum(), rel=0.5)
+        occupied = (mass_p > 0).sum()
+        assert occupied < (mass_v > 1e-12 * mass_v.max()).sum()
+
+    def test_relative_smoothness(self, matched_pair):
+        """Quantified Fig. 5: bin-to-bin relative fluctuation of the
+        Vlasov f (binned-mass / bin-volume) is far below the particle
+        histogram's — sampling noise vs a genuinely continuous field."""
+        grid, f, particles, _ = matched_pair
+        cell = (2, 4, 1)
+        vd = local_velocity_distribution(f, grid, cell)
+        mass_p = particle_velocity_histogram(particles, grid, cell, vd["speed_bins"])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f_p = np.where(vd["bin_volume"] > 0, mass_p / vd["bin_volume"], 0.0)
+        mid = slice(5, 25)
+
+        def roughness(y):
+            y = y[mid]
+            good = y > 0
+            if good.sum() < 5:
+                return np.inf
+            d = np.diff(np.log(y[good]))
+            return np.abs(np.diff(d)).mean()  # second-difference roughness
+
+        assert roughness(vd["f_mean_per_bin"]) < 0.3 * roughness(f_p)

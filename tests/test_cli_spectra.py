@@ -1,0 +1,102 @@
+"""The CLI surface and the extended spectral statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectra import (
+    correlation_coefficient,
+    cross_power,
+    dimensionless_power,
+    transfer_ratio,
+)
+from repro.cli import build_parser, main
+from repro.ic import FourierGrid, gaussian_field, measure_power
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Fugaku" in out and "slmpp5" in out
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "slmpp5" in out and "weno" in out
+
+    def test_memory(self, capsys):
+        assert main(["memory"]) == 0
+        out = capsys.readouterr().out
+        assert "U1024" in out and "PB" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "TianNu" in out
+
+    def test_landau_quick(self, capsys):
+        # a short, coarse run: only checks the plumbing and sign
+        assert main(["landau", "--nx", "32", "--nu", "64", "--steps", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["landau", "--k", "0.4"])
+        assert args.command == "landau"
+        assert args.k == 0.4
+
+
+class TestCrossPower:
+    def test_auto_matches_measure_power(self, rng):
+        grid = FourierGrid((24, 24, 24), 100.0)
+        delta = gaussian_field(grid, lambda k: 100.0 * np.ones_like(k), rng)
+        k1, p1, _ = measure_power(delta, 100.0, n_bins=8)
+        k2, p2, _ = cross_power(delta, delta, 100.0, n_bins=8)
+        assert np.allclose(k1, k2)
+        assert np.allclose(p1, p2, rtol=1e-10)
+
+    def test_identical_fields_fully_correlated(self, rng):
+        grid = FourierGrid((16, 16), 10.0)
+        delta = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        _, r = correlation_coefficient(delta, delta, 10.0, n_bins=5)
+        assert np.allclose(r, 1.0, atol=1e-10)
+
+    def test_independent_fields_uncorrelated(self, rng):
+        grid = FourierGrid((32, 32, 32), 10.0)
+        a = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        b = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        _, r = correlation_coefficient(a, b, 10.0, n_bins=4)
+        # many modes per bin: |r| << 1
+        assert np.all(np.abs(r) < 0.2)
+
+    def test_scaled_field_transfer_ratio(self, rng):
+        grid = FourierGrid((16, 16, 16), 10.0)
+        a = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        _, t = transfer_ratio(0.5 * a, a, 10.0, n_bins=4)
+        assert np.allclose(t, 0.5, rtol=1e-10)
+
+    def test_cross_power_symmetry(self, rng):
+        grid = FourierGrid((16, 16), 10.0)
+        a = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        b = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        _, p_ab, _ = cross_power(a, b, 10.0, n_bins=4)
+        _, p_ba, _ = cross_power(b, a, 10.0, n_bins=4)
+        assert np.allclose(p_ab, p_ba, rtol=1e-12)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cross_power(np.zeros((8, 8)), np.zeros((4, 4)), 1.0)
+
+    def test_dimensionless_power_scaling(self, rng):
+        grid = FourierGrid((24, 24, 24), 50.0)
+        delta = gaussian_field(grid, lambda k: 10.0 * np.ones_like(k), rng)
+        k, d2 = dimensionless_power(delta, 50.0, n_bins=6)
+        # flat P: Delta^2 grows as k^3
+        assert d2[-1] > d2[0] * (k[-1] / k[0]) ** 2.5

@@ -1,0 +1,192 @@
+"""Snapshot/checkpoint I/O and the diagnostics (timers, ledgers)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import PhaseSpaceGrid
+from repro.diagnostics import ConservationLedger, StepTimer
+from repro.io import (
+    IOTimer,
+    read_checkpoint,
+    read_snapshot,
+    write_checkpoint,
+    write_snapshot,
+)
+from repro.nbody.particles import ParticleSet
+
+
+@pytest.fixture
+def grid():
+    return PhaseSpaceGrid(nx=(6, 6, 6), nu=(4, 4, 4), box_size=10.0, v_max=2.0)
+
+
+@pytest.fixture
+def f(grid, rng):
+    return rng.random(grid.shape).astype(grid.dtype)
+
+
+@pytest.fixture
+def particles(rng):
+    return ParticleSet(
+        rng.uniform(0, 10, (50, 3)), rng.normal(0, 1, (50, 3)),
+        rng.uniform(0.5, 2, 50), 10.0,
+    )
+
+
+class TestSnapshot:
+    def test_snapshot_roundtrip(self, tmp_path, grid, f, particles):
+        timer = IOTimer()
+        path = write_snapshot(
+            tmp_path / "snap.npz", grid, f, particles, a=0.5, timer=timer,
+            extra={"step": 7},
+        )
+        snap = read_snapshot(path, timer=timer)
+        assert snap["header"]["a"] == 0.5
+        assert snap["header"]["extra"]["step"] == 7
+        assert snap["density"].shape == grid.nx
+        assert snap["velocity"].shape == (3,) + grid.nx
+        assert np.allclose(snap["positions"], particles.positions)
+        assert timer.write_seconds > 0 and timer.read_seconds > 0
+        assert timer.bytes_written > 0
+
+    def test_snapshot_stores_moments_not_f(self, tmp_path, grid, f):
+        """Snapshots never carry the 6-D f (the paper's I/O budget would
+        be exabytes otherwise) — only its moments."""
+        path = write_snapshot(tmp_path / "s.npz", grid, f)
+        snap = read_snapshot(path)
+        assert "f" not in snap
+        from repro.core import moments
+
+        assert np.allclose(snap["density"], moments.density(f, grid), rtol=1e-6)
+
+    def test_snapshot_without_particles(self, tmp_path, grid, f):
+        snap = read_snapshot(write_snapshot(tmp_path / "s.npz", grid, f))
+        assert not snap["header"]["has_particles"]
+        assert "positions" not in snap
+
+    def test_kind_mismatch_rejected(self, tmp_path, grid, f):
+        path = write_checkpoint(tmp_path / "c.npz", grid, f)
+        with pytest.raises(ValueError):
+            read_snapshot(path)
+
+
+class TestCheckpoint:
+    def test_bit_exact_roundtrip(self, tmp_path, grid, f, particles):
+        path = write_checkpoint(
+            tmp_path / "ck.npz", grid, f, particles, a=0.3, step=42
+        )
+        grid2, f2, p2, header = read_checkpoint(path)
+        assert grid2 == grid
+        assert np.array_equal(f2, f)
+        assert np.array_equal(p2.positions, particles.positions)
+        assert np.array_equal(p2.velocities, particles.velocities)
+        assert header["step"] == 42
+
+    def test_checkpoint_restores_dtype(self, tmp_path, rng):
+        grid = PhaseSpaceGrid(
+            nx=(4,), nu=(4,), box_size=1.0, v_max=1.0, dtype=np.float64
+        )
+        f = rng.random(grid.shape)
+        _, f2, _, _ = read_checkpoint(write_checkpoint(tmp_path / "c.npz", grid, f))
+        assert f2.dtype == np.float64
+
+    def test_snapshot_checkpoint_not_interchangeable(self, tmp_path, grid, f):
+        path = write_snapshot(tmp_path / "s.npz", grid, f)
+        with pytest.raises(ValueError):
+            read_checkpoint(path)
+
+
+class TestStepTimer:
+    def test_sections_and_medians(self):
+        t = StepTimer()
+        for _ in range(5):
+            with t.section("fast"):
+                pass
+            with t.section("slow"):
+                time.sleep(0.002)
+        assert t.sections["fast"].count == 5
+        assert t.median("slow") >= 0.002
+        assert t.median("slow") > t.median("fast")
+
+    def test_nesting(self):
+        t = StepTimer()
+        with t.section("outer"):
+            with t.section("outer/inner"):
+                pass
+        assert "outer" in t.sections and "outer/inner" in t.sections
+        assert t.sections["outer"].total >= t.sections["outer/inner"].total
+
+    def test_report_renders(self):
+        t = StepTimer()
+        with t.section("vlasov"):
+            pass
+        assert "vlasov" in t.report()
+
+    def test_missing_section(self):
+        with pytest.raises(KeyError):
+            StepTimer().median("never")
+
+    def test_stats_require_laps(self):
+        from repro.diagnostics import SectionStats
+
+        with pytest.raises(ValueError):
+            SectionStats().median
+
+
+class TestConservationLedger:
+    def test_drift_tracking(self):
+        ledger = ConservationLedger()
+        ledger.register(mass=100.0, energy=50.0)
+        ledger.update(mass=100.0001, energy=49.0)
+        assert ledger.relative_drift("mass") == pytest.approx(1e-6)
+        assert ledger.relative_drift("energy") == pytest.approx(0.02)
+
+    def test_zero_initial_value(self):
+        ledger = ConservationLedger()
+        ledger.register(momentum=0.0)
+        ledger.update(momentum=0.003)
+        assert ledger.relative_drift("momentum") == pytest.approx(0.003)
+
+    def test_unregistered_key(self):
+        ledger = ConservationLedger()
+        with pytest.raises(KeyError):
+            ledger.update(mass=1.0)
+        with pytest.raises(KeyError):
+            ledger.relative_drift("mass")
+
+
+class TestIOProperties:
+    def test_checkpoint_roundtrip_random_grids(self):
+        """Checkpoints are bit-exact for arbitrary small grids/dtypes."""
+        import tempfile
+        from pathlib import Path
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(0, 2**31 - 1))
+        @settings(max_examples=10, deadline=None)
+        def check(seed):
+            r = np.random.default_rng(seed)
+            dim = int(r.integers(1, 4))
+            nx = tuple(int(r.integers(4, 8)) for _ in range(dim))
+            nu = tuple(int(r.integers(4, 8)) for _ in range(dim))
+            dtype = np.float32 if seed % 2 else np.float64
+            g = PhaseSpaceGrid(
+                nx=nx, nu=nu, box_size=float(r.uniform(1, 100)),
+                v_max=float(r.uniform(1, 100)), dtype=dtype,
+            )
+            f = r.random(g.shape).astype(dtype)
+            with tempfile.TemporaryDirectory() as td:
+                path = Path(td) / "c.npz"
+                write_checkpoint(path, g, f, a=float(r.uniform(0.1, 1.0)))
+                g2, f2, p2, _header = read_checkpoint(path)
+            assert g2 == g
+            assert np.array_equal(f2, f)
+            assert p2 is None
+
+        check()

@@ -1,0 +1,148 @@
+"""Phase-space grid geometry and velocity moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import moments
+from repro.core.mesh import PhaseSpaceGrid
+
+
+@pytest.fixture
+def grid1d():
+    return PhaseSpaceGrid(nx=(32,), nu=(64,), box_size=10.0, v_max=4.0, dtype=np.float64)
+
+
+@pytest.fixture
+def grid3d():
+    return PhaseSpaceGrid(nx=(6, 6, 6), nu=(8, 8, 8), box_size=100.0, v_max=2000.0)
+
+
+class TestGeometry:
+    def test_shape_and_cells(self, grid3d):
+        assert grid3d.shape == (6, 6, 6, 8, 8, 8)
+        assert grid3d.n_cells == 6**3 * 8**3
+
+    def test_u1024_cell_count_is_400_trillion(self):
+        """The title: 1152^3 x 64^3 ~ 4.0e14 'grids'."""
+        grid = PhaseSpaceGrid.__new__(PhaseSpaceGrid)  # avoid allocating!
+        cells = 1152**3 * 64**3
+        assert cells == pytest.approx(4.008e14, rel=1e-3)
+
+    def test_spacings(self, grid3d):
+        assert grid3d.dx == (pytest.approx(100 / 6),) * 3
+        assert grid3d.du == (pytest.approx(500.0),) * 3
+
+    def test_cell_volume_product(self, grid3d):
+        assert grid3d.cell_volume == pytest.approx(
+            grid3d.cell_volume_x * grid3d.cell_volume_u
+        )
+
+    def test_centers_cover_domain(self, grid1d):
+        x = grid1d.x_centers(0)
+        assert x[0] == pytest.approx(10.0 / 32 / 2)
+        assert x[-1] == pytest.approx(10.0 - 10.0 / 32 / 2)
+        u = grid1d.u_centers(0)
+        assert u[0] == pytest.approx(-4.0 + 8.0 / 64 / 2)
+        assert u[-1] == pytest.approx(4.0 - 8.0 / 64 / 2)
+        assert abs(u.mean()) < 1e-12  # symmetric grid
+
+    def test_broadcast_shapes(self, grid3d):
+        assert grid3d.u_center_broadcast(1).shape == (1, 1, 1, 1, 8, 1)
+        assert grid3d.x_center_broadcast(2).shape == (1, 1, 6, 1, 1, 1)
+
+    def test_axis_indices(self, grid3d):
+        assert grid3d.spatial_axis(2) == 2
+        assert grid3d.velocity_axis(0) == 3
+        with pytest.raises(ValueError):
+            grid3d.velocity_axis(3)
+
+    def test_memory_accounting(self, grid3d):
+        assert grid3d.memory_bytes() == grid3d.n_cells * 4  # float32 default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpaceGrid(nx=(8, 8), nu=(8,), box_size=1.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            PhaseSpaceGrid(nx=(8,), nu=(8,), box_size=-1.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            PhaseSpaceGrid(nx=(8,), nu=(8,), box_size=1.0, v_max=1.0, dtype=np.int32)
+        with pytest.raises(ValueError):
+            PhaseSpaceGrid(nx=(8, 8, 8, 8), nu=(8, 8, 8, 8), box_size=1.0, v_max=1.0)
+
+
+class TestMoments:
+    def test_density_of_uniform_f(self, grid1d):
+        f = np.ones(grid1d.shape)
+        rho = moments.density(f, grid1d)
+        # integral over velocity: 1 * 2V
+        assert np.allclose(rho, 2 * grid1d.v_max)
+
+    def test_total_mass_uniform(self, grid1d):
+        f = np.ones(grid1d.shape)
+        assert moments.total_mass(f, grid1d) == pytest.approx(
+            grid1d.box_size * 2 * grid1d.v_max
+        )
+
+    def test_gaussian_moments_1d(self, grid1d):
+        """Shifted Maxwellian: density, mean velocity, dispersion recover
+        the analytic values to quadrature accuracy."""
+        u = grid1d.u_centers(0)
+        u0, sigma = 0.7, 0.9
+        fv = np.exp(-((u - u0) ** 2) / (2 * sigma**2)) / np.sqrt(2 * np.pi) / sigma
+        f = np.broadcast_to(fv, grid1d.shape).copy()
+        rho = moments.density(f, grid1d)
+        # the +-V truncation clips the Maxwellian tail at the 1e-4 level
+        assert np.allclose(rho, 1.0, atol=1e-3)
+        vbar = moments.mean_velocity(f, grid1d)
+        assert np.allclose(vbar[0], u0, atol=1e-3)
+        disp = moments.velocity_dispersion(f, grid1d)
+        assert np.allclose(disp, sigma, atol=5e-3)
+
+    def test_dispersion_tensor_isotropy(self, grid3d):
+        u2 = sum(
+            grid3d.u_center_broadcast(d).astype(np.float64) ** 2 for d in range(3)
+        )
+        sigma = 500.0
+        f = np.exp(-u2 / (2 * sigma**2)).astype(np.float32)
+        f = np.broadcast_to(f, grid3d.shape).copy()
+        t = moments.dispersion_tensor(f, grid3d)
+        assert np.allclose(t[0, 0], t[1, 1], rtol=1e-5)
+        assert np.allclose(t[0, 1], 0.0, atol=t[0, 0].mean() * 1e-5)
+
+    def test_momentum_consistency(self, grid1d):
+        rng = np.random.default_rng(0)
+        f = rng.random(grid1d.shape)
+        mom = moments.momentum(f, grid1d)
+        rho = moments.density(f, grid1d)
+        vbar = moments.mean_velocity(f, grid1d, rho)
+        assert np.allclose(mom[0], rho * vbar[0], rtol=1e-10)
+
+    def test_empty_cells_zero_velocity(self, grid1d):
+        f = np.zeros(grid1d.shape)
+        f[5, :] = 1.0
+        vbar = moments.mean_velocity(f, grid1d)
+        assert np.all(np.isfinite(vbar))
+        assert vbar[0][0] == 0.0  # empty cell
+
+    def test_kinetic_energy_maxwellian(self, grid1d):
+        u = grid1d.u_centers(0)
+        sigma = 1.1
+        fv = np.exp(-(u**2) / (2 * sigma**2)) / np.sqrt(2 * np.pi) / sigma
+        f = np.broadcast_to(fv, grid1d.shape).copy()
+        ke = moments.kinetic_energy(f, grid1d)
+        # (1/2) <u^2> * mass = sigma^2/2 * L; the u^2 weighting amplifies
+        # the +-V tail truncation, hence the percent-level tolerance
+        assert ke == pytest.approx(0.5 * sigma**2 * grid1d.box_size, rel=2e-2)
+
+    def test_l2_vs_l1(self, grid1d):
+        f = np.abs(np.random.default_rng(1).standard_normal(grid1d.shape))
+        assert moments.l1_norm(f, grid1d) == pytest.approx(
+            moments.total_mass(f, grid1d)
+        )
+        assert moments.l2_norm(f, grid1d) > 0
+
+    def test_shape_mismatch_raises(self, grid1d):
+        with pytest.raises(ValueError):
+            moments.density(np.ones((3, 3)), grid1d)

@@ -1,0 +1,171 @@
+"""Pairwise force kernels and the exact periodic references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nbody.direct import (
+    direct_accel_minimum_image,
+    direct_accel_open,
+    ewald_accel,
+)
+from repro.nbody.particles import ParticleSet
+from repro.nbody.phantom import (
+    InteractionCounter,
+    accel_batched,
+    accel_scalar,
+    shortrange_factor,
+)
+
+
+class TestPhantomKernel:
+    def test_two_body_newton(self):
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[2.0, 0.0, 0.0]])
+        a = accel_batched(t, s, np.array([3.0]), g_newton=1.0, eps=0.0)
+        assert a[0] == pytest.approx([3.0 / 4.0, 0.0, 0.0])
+
+    def test_plummer_softening(self):
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[1.0, 0.0, 0.0]])
+        a = accel_batched(t, s, np.array([1.0]), g_newton=1.0, eps=1.0)
+        assert a[0, 0] == pytest.approx(1.0 / 2.0**1.5)
+
+    def test_batched_equals_scalar(self, rng):
+        targets = rng.uniform(0, 10, (7, 3))
+        sources = rng.uniform(0, 10, (13, 3))
+        masses = rng.uniform(0.5, 2, 13)
+        a1 = accel_batched(targets, sources, masses, 2.0, 0.1)
+        a2 = accel_scalar(targets, sources, masses, 2.0, 0.1)
+        assert np.allclose(a1, a2, rtol=1e-12)
+
+    def test_float32_matches_float64_to_single_precision(self, rng):
+        targets = rng.uniform(0, 10, (5, 3))
+        sources = rng.uniform(0, 10, (20, 3))
+        masses = rng.uniform(0.5, 2, 20)
+        a64 = accel_batched(targets, sources, masses, 1.0, 0.1, dtype=np.float64)
+        a32 = accel_batched(targets, sources, masses, 1.0, 0.1, dtype=np.float32)
+        assert np.allclose(a32, a64, rtol=1e-4)
+
+    def test_tiling_invariance(self, rng):
+        targets = rng.uniform(0, 1, (4, 3))
+        sources = rng.uniform(0, 1, (100, 3))
+        masses = np.ones(100)
+        a1 = accel_batched(targets, sources, masses, 1.0, 0.05, tile=7)
+        a2 = accel_batched(targets, sources, masses, 1.0, 0.05, tile=100)
+        assert np.allclose(a1, a2, rtol=1e-12)
+
+    def test_interaction_counter(self, rng):
+        counter = InteractionCounter()
+        accel_batched(
+            rng.uniform(0, 1, (5, 3)), rng.uniform(0, 1, (9, 3)), np.ones(9),
+            1.0, 0.1, counter=counter,
+        )
+        assert counter.count == 45
+
+    def test_exclude_self(self, rng):
+        pos = rng.uniform(0, 1, (6, 3))
+        a = accel_batched(pos, pos, np.ones(6), 1.0, 0.0, exclude_self=True)
+        assert np.all(np.isfinite(a))
+
+    def test_momentum_conservation(self, rng):
+        """Equal and opposite pairwise forces: sum(m a) = 0."""
+        pos = rng.uniform(0, 1, (20, 3))
+        m = rng.uniform(0.5, 2, 20)
+        a = accel_batched(pos, pos, m, 1.0, 0.01, exclude_self=True)
+        assert np.allclose((m[:, None] * a).sum(axis=0), 0.0, atol=1e-10)
+
+
+class TestShortrangeFactor:
+    def test_limits(self):
+        assert shortrange_factor(np.array(1e-8), 1.0) == pytest.approx(1.0)
+        assert shortrange_factor(np.array(20.0), 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0.01, 10, 200)
+        g = shortrange_factor(r, 1.0)
+        assert np.all(np.diff(g) < 1e-12)
+
+    @given(st.floats(0.01, 5.0), st.floats(0.2, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_in_unit_interval(self, r, rs):
+        g = float(shortrange_factor(np.array(r), rs))
+        assert 0.0 <= g <= 1.0 + 1e-12
+
+
+class TestEwald:
+    @pytest.fixture(scope="class")
+    def random_set(self):
+        rng = np.random.default_rng(7)
+        pos = rng.uniform(0, 50.0, (8, 3))
+        return ParticleSet(pos, np.zeros((8, 3)), rng.uniform(0.5, 2, 8), 50.0)
+
+    def test_alpha_independence(self, random_set):
+        """The real/Fourier split must cancel: the answer cannot depend on
+        the Ewald splitting parameter."""
+        a1 = ewald_accel(random_set, 1.0, alpha=1.5 / 50, n_real=4, n_fourier=8)
+        a2 = ewald_accel(random_set, 1.0, alpha=3.0 / 50, n_real=3, n_fourier=12)
+        assert np.allclose(a1, a2, rtol=1e-10)
+
+    def test_momentum_conservation(self, random_set):
+        a = ewald_accel(random_set, 1.0)
+        mom = (random_set.masses[:, None] * a).sum(axis=0)
+        assert np.allclose(mom, 0.0, atol=1e-12 * np.abs(a).max())
+
+    def test_close_pair_newtonian(self):
+        p = ParticleSet(
+            np.array([[25.0, 25, 25], [26.0, 25, 25]]),
+            np.zeros((2, 3)), np.ones(2), 100.0,
+        )
+        a = ewald_accel(p, 1.0)
+        # separation << L: periodic images contribute < 1e-4
+        assert a[0, 0] == pytest.approx(1.0, rel=1e-3)
+        assert a[1, 0] == pytest.approx(-1.0, rel=1e-3)
+
+    def test_matches_minimum_image_for_close_pairs(self):
+        rng = np.random.default_rng(3)
+        center = np.array([50.0, 50.0, 50.0])
+        pos = center + rng.normal(0, 2.0, (6, 3))
+        p = ParticleSet(pos, np.zeros((6, 3)), np.ones(6), 100.0)
+        a_ew = ewald_accel(p, 1.0)
+        a_mi = direct_accel_minimum_image(p, 1.0, 0.0)
+        # tight clump: image corrections are tiny
+        assert np.allclose(a_ew, a_mi, rtol=2e-2, atol=1e-4 * np.abs(a_mi).max())
+
+    def test_cubic_symmetry_of_lattice(self):
+        """A single particle on the lattice feels zero force (symmetry)."""
+        p = ParticleSet(np.array([[10.0, 20.0, 30.0]]), np.zeros((1, 3)),
+                        np.ones(1), 100.0)
+        a = ewald_accel(p, 1.0)
+        assert np.allclose(a, 0.0, atol=1e-10)
+
+    def test_requires_3d(self):
+        p = ParticleSet(np.zeros((2, 2)), np.zeros((2, 2)), np.ones(2), 1.0)
+        with pytest.raises(ValueError):
+            ewald_accel(p, 1.0)
+
+
+class TestDirectSums:
+    def test_open_vs_scalar_reference(self, rng):
+        pos = rng.uniform(0, 10, (15, 3))
+        p = ParticleSet(pos, np.zeros((15, 3)), rng.uniform(0.5, 2, 15), 100.0)
+        a_open = direct_accel_open(p, 1.5, 0.2)
+        a_ref = accel_scalar(
+            p.positions, p.positions, p.masses, 1.5, 0.2, exclude_self=True
+        )
+        assert np.allclose(a_open, a_ref, rtol=1e-12)
+
+    def test_minimum_image_wraps(self):
+        """Particles across the periodic boundary attract through it."""
+        p = ParticleSet(
+            np.array([[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]]),
+            np.zeros((2, 3)), np.ones(2), 10.0,
+        )
+        a = direct_accel_minimum_image(p, 1.0, 0.0)
+        # nearest image is at distance 1 across the boundary: first
+        # particle pulled in -x
+        assert a[0, 0] == pytest.approx(-1.0)
+        assert a[1, 0] == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""FFT Poisson solver: analytic solutions, gradients, conventions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gravity.poisson import PeriodicPoissonSolver, gravity_source
+
+
+class TestPotential:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_single_mode_exact(self, dim):
+        """laplacian(phi) = -k^2 sin(kx) must give phi = sin(kx)."""
+        n = 32
+        solver = PeriodicPoissonSolver((n,) * dim, box_size=2 * np.pi)
+        x = solver.dx[0] * (np.arange(n))
+        k = 3.0
+        phi_true = np.sin(k * x)
+        for d in range(1, dim):
+            shape = [1] * dim
+            shape[d] = 1
+        phi_true = phi_true.reshape((n,) + (1,) * (dim - 1)) * np.ones((n,) * dim)
+        source = -(k**2) * phi_true
+        phi = solver.potential(source)
+        assert np.allclose(phi, phi_true - phi_true.mean(), atol=1e-10)
+
+    def test_mean_gauged_to_zero(self):
+        solver = PeriodicPoissonSolver((16, 16), box_size=1.0)
+        rng = np.random.default_rng(0)
+        src = rng.standard_normal((16, 16))
+        phi = solver.potential(src - src.mean())
+        assert abs(phi.mean()) < 1e-12
+
+    def test_dc_mode_discarded(self):
+        solver = PeriodicPoissonSolver((16,), box_size=1.0)
+        phi0 = solver.potential(np.ones(16))
+        assert np.allclose(phi0, 0.0)
+
+    def test_discrete_green_matches_fd2_laplacian(self):
+        """With the 'discrete' kernel, applying the 2nd-order FD Laplacian
+        to phi recovers the source exactly."""
+        n = 24
+        solver = PeriodicPoissonSolver((n,), box_size=3.0, green="discrete")
+        rng = np.random.default_rng(1)
+        src = rng.standard_normal(n)
+        src -= src.mean()
+        phi = solver.potential(src)
+        h = solver.dx[0]
+        lap = (np.roll(phi, -1) - 2 * phi + np.roll(phi, 1)) / h**2
+        assert np.allclose(lap, src, atol=1e-10)
+
+    def test_shape_validation(self):
+        solver = PeriodicPoissonSolver((8, 8), box_size=1.0)
+        with pytest.raises(ValueError):
+            solver.potential(np.ones((4, 4)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicPoissonSolver((8,), box_size=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicPoissonSolver((1,), box_size=1.0)
+        with pytest.raises(ValueError):
+            PeriodicPoissonSolver((8,), box_size=1.0, green="magic")
+
+
+class TestGradient:
+    @pytest.mark.parametrize("method,tol", [("spectral", 1e-10), ("fd4", 1e-3), ("fd2", 5e-2)])
+    def test_gradient_of_sine(self, method, tol):
+        n = 64
+        solver = PeriodicPoissonSolver((n,), box_size=2 * np.pi)
+        x = solver.dx[0] * np.arange(n)
+        phi = np.sin(2 * x)
+        grad = solver.gradient(phi, 0, method=method)
+        assert np.allclose(grad, 2 * np.cos(2 * x), atol=tol)
+
+    def test_fd4_order(self):
+        def err(n):
+            solver = PeriodicPoissonSolver((n,), box_size=2 * np.pi)
+            x = solver.dx[0] * np.arange(n)
+            return np.abs(
+                solver.gradient(np.sin(x), 0, "fd4") - np.cos(x)
+            ).max()
+
+        assert err(32) / err(64) > 14  # 4th order: factor 16
+
+    def test_acceleration_sign(self):
+        """For a positive density blob, -grad phi points toward the blob
+        (attractive) when the source has the gravity sign convention."""
+        n = 64
+        solver = PeriodicPoissonSolver((n,), box_size=1.0)
+        x = (np.arange(n) + 0.5) / n
+        rho = np.exp(-((x - 0.5) ** 2) / 0.01)
+        src = gravity_source(rho, g_newton=1.0, a=1.0)
+        acc = solver.acceleration(src)[0]
+        # left of the blob acceleration is positive (points right/toward)
+        assert acc[n // 4] > 0
+        assert acc[3 * n // 4] < 0
+
+
+class TestGravitySource:
+    def test_zero_mean(self):
+        rng = np.random.default_rng(2)
+        rho = rng.random((8, 8, 8))
+        src = gravity_source(rho, 43.0, 0.5)
+        assert abs(src.mean()) < 1e-10 * np.abs(src).max()
+
+    def test_prefactor(self):
+        rho = np.array([2.0, 0.0])
+        src = gravity_source(rho, g_newton=1.0, a=0.5)
+        assert src[0] == pytest.approx(4 * np.pi / 0.5 * 1.0)
+
+    def test_scale_factor_validation(self):
+        with pytest.raises(ValueError):
+            gravity_source(np.ones(4), 1.0, a=0.0)

@@ -1,0 +1,138 @@
+"""Reconstruction-stencil algebra: exact coefficients and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stencil import (
+    SUPPORTED_ORDERS,
+    edge_value_coefficients,
+    evaluate_flux_coefficients,
+    flux_coefficient_polynomials,
+    weno_substencil_polynomials,
+)
+
+
+class TestEdgeCoefficients:
+    def test_order1(self):
+        assert np.allclose(edge_value_coefficients(1), [1.0])
+
+    def test_order3_classic(self):
+        assert np.allclose(edge_value_coefficients(3) * 6, [-1, 5, 2])
+
+    def test_order5_classic(self):
+        assert np.allclose(edge_value_coefficients(5) * 60, [2, -13, 47, 27, -3])
+
+    def test_order7_classic(self):
+        assert np.allclose(
+            edge_value_coefficients(7) * 420, [-3, 25, -101, 319, 214, -38, 4]
+        )
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            flux_coefficient_polynomials(4)
+
+
+class TestFluxCoefficients:
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_alpha_zero_is_zero_flux(self, order):
+        c = evaluate_flux_coefficients(order, np.array(0.0))
+        assert np.allclose(c, 0.0)
+
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_alpha_one_selects_donor(self, order):
+        c = evaluate_flux_coefficients(order, np.array(1.0))
+        expected = np.zeros(order)
+        expected[(order - 1) // 2] = 1.0
+        assert np.allclose(c, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_constant_field_flux(self, order):
+        # for f == 1 everywhere, phi(alpha) must equal alpha exactly
+        for alpha in (0.1, 0.25, 0.5, 0.9):
+            c = evaluate_flux_coefficients(order, np.array(alpha))
+            assert c.sum() == pytest.approx(alpha, abs=1e-13)
+
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_linear_field_exact(self, order):
+        # reconstruction integrates linear data exactly for order >= 3;
+        # for order 1 only constants
+        if order == 1:
+            return
+        # cell averages of f(x) = x on cells centered at offsets m
+        r = (order - 1) // 2
+        averages = np.arange(-r, r + 1, dtype=np.float64)
+        alpha = 0.37
+        c = evaluate_flux_coefficients(order, np.array(alpha))
+        phi = (c * averages).sum()
+        # exact: integral of x over [1/2 - alpha, 1/2]
+        exact = 0.5 * (0.25 - (0.5 - alpha) ** 2)
+        assert phi == pytest.approx(exact, abs=1e-13)
+
+    def test_quartic_exactness_order5(self):
+        # order-5 reconstruction integrates quartic data exactly
+        r = 2
+        # exact cell averages of f(x) = x^4 over unit cells at offsets m
+        def avg(m):
+            return (((m + 0.5) ** 5) - ((m - 0.5) ** 5)) / 5.0
+
+        averages = np.array([avg(m) for m in range(-r, r + 1)])
+        alpha = 0.61
+        c = evaluate_flux_coefficients(5, np.array(alpha))
+        phi = (c * averages).sum()
+        exact = (0.5**5 - (0.5 - alpha) ** 5) / 5.0
+        assert phi == pytest.approx(exact, abs=1e-12)
+
+    def test_vectorized_alpha(self):
+        alphas = np.linspace(0, 1, 7).reshape(7, 1)
+        c = evaluate_flux_coefficients(5, alphas)
+        assert c.shape == (5, 7, 1)
+        for i, a in enumerate(alphas.ravel()):
+            ci = evaluate_flux_coefficients(5, np.array(a))
+            assert np.allclose(c[:, i, 0], ci)
+
+
+class TestWenoSubstencils:
+    def test_ideal_weights_at_alpha_zero(self):
+        # combining the three quadratic edge values with (0.1, 0.6, 0.3)
+        # must give the order-5 edge value: classic WENO-5 identity
+        sub = weno_substencil_polynomials()
+        edge5 = edge_value_coefficients(5)
+        combo = 0.1 * sub[0, :, 1] + 0.6 * sub[1, :, 1] + 0.3 * sub[2, :, 1]
+        assert np.allclose(combo, edge5, atol=1e-12)
+
+    def test_substencils_select_donor_at_alpha_one(self):
+        sub = weno_substencil_polynomials()
+        for s in range(3):
+            total = np.array(
+                [np.polynomial.polynomial.polyval(1.0, sub[s, m]) for m in range(5)]
+            )
+            expected = np.zeros(5)
+            expected[2] = 1.0
+            assert np.allclose(total, expected, atol=1e-12)
+
+    def test_constant_preservation_each_substencil(self):
+        sub = weno_substencil_polynomials()
+        for s in range(3):
+            for alpha in (0.2, 0.5, 0.8):
+                total = sum(
+                    np.polynomial.polynomial.polyval(alpha, sub[s, m])
+                    for m in range(5)
+                )
+                assert total == pytest.approx(alpha, abs=1e-13)
+
+    def test_ideal_weights_positive_on_unit_interval(self):
+        # the alpha-dependent ideal weights used by slweno5 stay in [0,1]
+        from repro.core.stencil import flux_coefficient_polynomials
+
+        p5 = flux_coefficient_polynomials(5)
+        sub = weno_substencil_polynomials()
+        polyval = np.polynomial.polynomial.polyval
+        a = np.linspace(0.0, 0.999, 200)
+        d0 = polyval(a, p5[0, 1:]) / polyval(a, sub[0, 0, 1:])
+        d2 = polyval(a, p5[4, 1:]) / polyval(a, sub[2, 4, 1:])
+        d1 = 1.0 - d0 - d2
+        assert np.all(d0 > -1e-10) and np.all(d0 < 1 + 1e-10)
+        assert np.all(d2 > -1e-10) and np.all(d2 < 1 + 1e-10)
+        assert np.all(d1 > -1e-10) and np.all(d1 < 1 + 1e-10)

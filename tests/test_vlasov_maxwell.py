@@ -1,0 +1,176 @@
+"""Vlasov-Maxwell (the paper's §8 extension): structure and physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plasma import VlasovMaxwell1D2V
+
+
+@pytest.fixture
+def small_vm():
+    return VlasovMaxwell1D2V(
+        nx=16, nvx=16, nvy=16, box_size=4 * np.pi, v_max=1.0
+    )
+
+
+class TestStructure:
+    def test_grid_geometry(self, small_vm):
+        vm = small_vm
+        assert vm.f.shape == (16, 16, 16)
+        assert vm.x_centers()[0] == pytest.approx(vm.dx / 2)
+        assert abs(vm.vx_centers().mean()) < 1e-14
+        assert abs(vm.vy_centers().mean()) < 1e-14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VlasovMaxwell1D2V(nx=4, nvx=16, nvy=16, box_size=1.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            VlasovMaxwell1D2V(nx=16, nvx=16, nvy=16, box_size=-1.0, v_max=1.0)
+
+    def test_anisotropic_ic_normalization(self, small_vm):
+        vm = small_vm
+        vm.load_anisotropic_maxwellian(t_x=0.02, t_y=0.05, density=1.0, b_seed=0.0)
+        # density integrates to ~1 per unit length (tail truncation small)
+        assert vm.total_mass() == pytest.approx(vm.box_size, rel=1e-2)
+
+    def test_temperature_validation(self, small_vm):
+        with pytest.raises(ValueError):
+            small_vm.load_anisotropic_maxwellian(t_x=-0.1, t_y=0.1)
+
+    def test_gauss_law_field(self, small_vm):
+        """E_x from a sinusoidal charge perturbation matches d/dx inverse."""
+        vm = small_vm
+        vm.load_anisotropic_maxwellian(t_x=0.02, t_y=0.02, b_seed=0.0)
+        k = 2 * np.pi / vm.box_size
+        x = vm.x_centers()
+        vm.f *= (1 + 0.01 * np.cos(k * x))[:, None, None]
+        ex = vm.e_x()
+        rho = vm.charge_density()
+        # d(Ex)/dx should equal rho - mean(rho) (spectral identity)
+        ex_k = np.fft.rfft(ex)
+        div = np.fft.irfft(1j * vm._k * ex_k, n=vm.nx)
+        assert np.allclose(div, rho - rho.mean(), atol=1e-10)
+
+    def test_current_of_shifted_maxwellian(self, small_vm):
+        vm = small_vm
+        vm.load_anisotropic_maxwellian(t_x=0.02, t_y=0.02, b_seed=0.0)
+        # shift the v_y distribution by hand: multiply by linear-in-vy tilt
+        vy = vm.vy_centers()[None, None, :]
+        vm.f = vm.f * (1 + 2.0 * vy)
+        _, jy = vm.current_density()
+        # electron charge -1: positive <v_y> means negative J_y
+        assert np.all(jy < 0)
+
+
+class TestConservationAndWaves:
+    def test_free_maxwell_conserves_field_energy(self, small_vm):
+        """With no plasma (f = 0), E_y/B_z form a light wave whose energy
+        the exact k-space integrator conserves to machine precision."""
+        vm = small_vm
+        x = vm.x_centers()
+        vm.e_y = 0.01 * np.cos(2 * np.pi * x / vm.box_size)
+        e0 = vm.field_energy()
+        total0 = e0["ey"] + e0["bz"]
+        for _ in range(100):
+            vm._maxwell(0.1)
+        e1 = vm.field_energy()
+        assert e1["ey"] + e1["bz"] == pytest.approx(total0, rel=1e-12)
+
+    def test_light_wave_propagates_at_c(self, small_vm):
+        """A wave packet's phase advances at omega = |k| (c = 1)."""
+        vm = small_vm
+        k = 2 * np.pi / vm.box_size
+        x = vm.x_centers()
+        vm.e_y = np.cos(k * x)
+        vm.b_z = np.cos(k * x)  # right-moving eigenmode E = B
+        vm._maxwell(1.0)
+        # after t, the eigenmode is cos(k(x - t))
+        expected = np.cos(k * (x - 1.0))
+        assert np.allclose(vm.e_y, expected, atol=1e-10)
+        assert np.allclose(vm.b_z, expected, atol=1e-10)
+
+    def test_total_energy_drift_small(self):
+        vm = VlasovMaxwell1D2V(
+            nx=16, nvx=24, nvy=24, box_size=4 * np.pi, v_max=0.9
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.01, t_y=0.04, b_seed=1e-4)
+        e0 = vm.total_energy()
+        for _ in range(50):
+            vm.step(0.1)
+        assert vm.total_energy() == pytest.approx(e0, rel=1e-3)
+
+    def test_mass_conserved(self):
+        vm = VlasovMaxwell1D2V(
+            nx=16, nvx=24, nvy=24, box_size=4 * np.pi, v_max=0.9
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.01, t_y=0.04, b_seed=1e-4)
+        m0 = vm.total_mass()
+        for _ in range(30):
+            vm.step(0.1)
+        assert vm.total_mass() == pytest.approx(m0, rel=1e-5)
+
+    def test_f_stays_positive(self):
+        vm = VlasovMaxwell1D2V(
+            nx=16, nvx=24, nvy=24, box_size=4 * np.pi, v_max=0.9
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.01, t_y=0.04, b_seed=1e-3)
+        for _ in range(30):
+            vm.step(0.1)
+        assert vm.f.min() >= -1e-12
+
+
+class TestWeibel:
+    def test_isotropic_plasma_stable(self):
+        """No anisotropy -> no Weibel growth: the seed field stays at the
+        seed level (only transverse oscillation)."""
+        vm = VlasovMaxwell1D2V(
+            nx=16, nvx=24, nvy=24, box_size=4 * np.pi, v_max=0.9
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.04, t_y=0.04, b_seed=1e-4)
+        b0 = vm.field_energy()["bz"]
+        for _ in range(80):
+            vm.step(0.1)
+        assert vm.field_energy()["bz"] < 5.0 * b0
+
+    def test_weibel_growth(self):
+        """T_y >> T_x: the magnetic energy grows exponentially — the
+        defining electromagnetic kinetic instability (and the paper's
+        motivating application for the §8 extension)."""
+        vm = VlasovMaxwell1D2V(
+            nx=24, nvx=24, nvy=36, box_size=4 * np.pi, v_max=1.1
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.01, t_y=0.09, b_seed=1e-4)
+        energies, times = [], []
+        for _ in range(350):
+            vm.step(0.1)
+            energies.append(vm.field_energy()["bz"])
+            times.append(vm.time)
+        bz = np.array(energies)
+        t = np.array(times)
+        assert bz[-1] > 50.0 * bz[0]  # robust growth
+        window = (bz > 5 * bz[0]) & (bz < bz.max() / 3)
+        assert window.sum() > 5
+        gamma = 0.5 * np.polyfit(t[window], np.log(bz[window]), 1)[0]
+        assert 0.03 < gamma < 0.5  # physically sensible Weibel rate
+
+    def test_anisotropy_relaxes(self):
+        """The instability feeds on T_y - T_x: the anisotropy must shrink
+        as the field grows (quasilinear relaxation)."""
+        vm = VlasovMaxwell1D2V(
+            nx=24, nvx=24, nvy=36, box_size=4 * np.pi, v_max=1.1
+        )
+        vm.load_anisotropic_maxwellian(t_x=0.01, t_y=0.09, b_seed=1e-3)
+
+        def anisotropy():
+            vx = vm.vx_centers()[None, :, None]
+            vy = vm.vy_centers()[None, None, :]
+            tx = (vm.f * vx**2).sum() / vm.f.sum()
+            ty = (vm.f * vy**2).sum() / vm.f.sum()
+            return ty / tx
+
+        a0 = anisotropy()
+        for _ in range(350):
+            vm.step(0.1)
+        assert anisotropy() < a0

@@ -1,0 +1,154 @@
+"""The Vlasov solver's split operators: drift, kick, Strang composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import PhaseSpaceGrid
+from repro.core.vlasov import VlasovSolver
+
+
+@pytest.fixture
+def grid():
+    return PhaseSpaceGrid(nx=(32,), nu=(32,), box_size=2 * np.pi, v_max=4.0, dtype=np.float64)
+
+
+def maxwellian_beam(grid, x0=np.pi, u0=1.0, sx=0.5, su=0.4):
+    x = grid.x_centers(0)[:, None]
+    u = grid.u_centers(0)[None, :]
+    return np.exp(-((x - x0) ** 2) / (2 * sx**2) - ((u - u0) ** 2) / (2 * su**2))
+
+
+class TestDrift:
+    def test_free_streaming_translates_in_x(self, grid):
+        """Free streaming: each velocity slice translates by u*dt."""
+        f0 = maxwellian_beam(grid)
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = f0
+        dt = 0.3
+        solver.drift(dt)
+        # center of mass along x for the u0-slice moved by ~u0*dt
+        iu = np.argmin(np.abs(grid.u_centers(0) - 1.0))
+        x = grid.x_centers(0)
+        com0 = (x * f0[:, iu]).sum() / f0[:, iu].sum()
+        com1 = (x * solver.f[:, iu]).sum() / solver.f[:, iu].sum()
+        u_slice = grid.u_centers(0)[iu]
+        assert com1 - com0 == pytest.approx(u_slice * dt, abs=grid.dx[0] / 20)
+
+    def test_drift_conserves_mass(self, grid):
+        solver = VlasovSolver(grid)
+        solver.f = maxwellian_beam(grid).astype(np.float32)
+        m0 = solver.total_mass()
+        solver.drift(0.7)
+        assert solver.total_mass() == pytest.approx(m0, rel=1e-6)
+
+    def test_drift_preserves_velocity_marginal(self, grid):
+        """Spatial advection cannot change the velocity distribution."""
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = maxwellian_beam(grid)
+        marg0 = solver.f.sum(axis=0)
+        solver.drift(1.3)
+        assert np.allclose(solver.f.sum(axis=0), marg0, rtol=1e-10)
+
+    def test_full_box_crossing_is_identity(self, grid):
+        """With periodic x, drifting every slice by an exact multiple of
+        the box returns f (integer shifts are exact)."""
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        rng = np.random.default_rng(0)
+        f0 = rng.random(grid.shape)
+        solver.f = f0
+        # choose dt so u_max * dt = one box for the largest |u| and
+        # integer cell shifts for all slices: u grid is uniform
+        du = grid.du[0]
+        dt = grid.dx[0] / du  # shift_i = u_i*dt/dx = u_i/du: half-integers!
+        # half-integers are not exact; use dt = 2 dx/du for integers
+        solver.f = f0.copy()
+        solver.drift(2 * grid.dx[0] / du)
+        # all shifts integer -> result is an exact permutation; mass exact
+        assert solver.total_mass() == pytest.approx(f0.sum() * grid.cell_volume)
+
+
+class TestKick:
+    def test_uniform_accel_translates_in_u(self, grid):
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = maxwellian_beam(grid, u0=0.0)
+        accel = np.full((1,) + grid.nx, 2.0)
+        dt = 0.4
+        solver.kick(accel, dt)
+        u = grid.u_centers(0)
+        marg = solver.f.sum(axis=0)
+        com = (u * marg).sum() / marg.sum()
+        assert com == pytest.approx(2.0 * dt, abs=grid.du[0] / 10)
+
+    def test_kick_preserves_density(self, grid):
+        """Velocity advection cannot change the spatial density (the
+        paper's moments-without-communication property in action)."""
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = maxwellian_beam(grid)
+        rho0 = solver.density()
+        accel = np.sin(grid.x_centers(0)).reshape(1, -1)
+        solver.kick(accel, 0.5)
+        assert np.allclose(solver.density(), rho0, rtol=1e-6)
+
+    def test_kick_outflow_at_vmax(self, grid):
+        """Mass pushed past +-V leaves the grid (zero BC), monotonically."""
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = maxwellian_beam(grid, u0=3.0, su=0.5)
+        m0 = solver.total_mass()
+        accel = np.full((1,) + grid.nx, 5.0)
+        solver.kick(accel, 0.5)
+        assert solver.total_mass() < m0
+
+    def test_accel_shape_validated(self, grid):
+        solver = VlasovSolver(grid)
+        with pytest.raises(ValueError):
+            solver.kick(np.ones((2,) + grid.nx), 0.1)
+
+
+class TestStrangStep:
+    def test_kdk_sequence_called(self, grid):
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = maxwellian_beam(grid)
+        calls = []
+
+        def recompute():
+            calls.append(True)
+            return np.zeros((1,) + grid.nx)
+
+        solver.strang_step(np.zeros((1,) + grid.nx), 0.1, 0.2, recompute, 0.1)
+        assert calls == [True]
+
+    def test_cfl_helpers(self, grid):
+        solver = VlasovSolver(grid)
+        assert solver.max_drift_cfl(0.1) == pytest.approx(
+            grid.v_max * 0.1 / grid.dx[0]
+        )
+        accel = np.full((1,) + grid.nx, 3.0)
+        assert solver.max_kick_cfl(accel, 0.2) == pytest.approx(
+            3.0 * 0.2 / grid.du[0]
+        )
+
+    def test_unknown_scheme(self, grid):
+        with pytest.raises(ValueError):
+            VlasovSolver(grid, scheme="nope")
+
+
+class TestRecurrence2D2V:
+    def test_2d_drift_axes_commute_for_linear_advection(self):
+        grid = PhaseSpaceGrid(nx=(12, 12), nu=(8, 8), box_size=1.0, v_max=1.0,
+                              dtype=np.float64)
+        rng = np.random.default_rng(3)
+        f0 = rng.random(grid.shape)
+        s1 = VlasovSolver(grid, scheme="slp5")
+        s1.f = f0.copy()
+        s1.drift(0.05)
+        # drift in reversed order by driving axes manually
+        from repro.core.advection import advect
+
+        g = f0.copy()
+        for d in range(grid.dim):  # forward order (z..x reversed = x,y here)
+            u = grid.u_center_broadcast(d)
+            g = advect(g, u * (0.05 / grid.dx[d]), d, scheme="slp5")
+        # linear schemes commute across distinct axes: same result
+        assert np.allclose(s1.f, g, atol=1e-12)
