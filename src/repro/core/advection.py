@@ -40,6 +40,29 @@ velocity only, and the acceleration -dphi/dx_i a function of position only).
 Boundary conditions: ``periodic`` (spatial axes) and ``zero`` (velocity
 axes — mass crossing the velocity-space boundary [-V, V) leaves the box,
 mirroring the paper's truncated velocity domain).
+
+Allocation discipline
+---------------------
+``advect`` accepts two optional fast-path arguments:
+
+``out=``
+    Preallocated destination with the result shape/dtype (aliasing the
+    input is allowed — every flux is fully computed before the output
+    write).  Callers stepping in a loop double-buffer instead of
+    allocating a fresh f every sweep.
+``arena=``
+    A :class:`repro.perf.arena.ScratchArena` holding the stencil, flux
+    and prefix-sum scratch buffers.  Repeated calls with the same shapes
+    reuse the same memory, so steady-state sweeps stop churning the
+    allocator.  The arithmetic is identical with or without an arena
+    (same operations, same order — only the buffer placement changes),
+    so results are bitwise-equal.
+
+Precision: the conservative prefix sums S(i, k) accumulate in float64
+even for float32 f (``_integer_mass``); float32 cumsums drift by
+~1e3 cell-ulps over 1024-cell axes, which leaked into the fluxes.  The
+*difference* of prefix sums is cast back to the storage dtype, so the
+flux array — and the telescoped update — stay in the input precision.
 """
 
 from __future__ import annotations
@@ -87,12 +110,34 @@ SCHEMES: dict[str, SchemeSpec] = {
 _BCS = ("periodic", "zero")
 
 
+def _scratch(arena, key, shape, dtype) -> np.ndarray:
+    """Uninitialized work buffer — pooled when an arena is supplied."""
+    if arena is None:
+        return np.empty(shape, dtype=dtype)
+    return arena.take(key, shape, dtype)
+
+
+def stencil_reach(spec: SchemeSpec) -> int:
+    """Cells read on each side of the donor cell by a scheme's stencil.
+
+    The MP limiter widens the gather to the 5-cell Suresh-Huynh
+    neighborhood; every other scheme touches exactly ``order`` cells.
+    This is the per-scheme bound ghost/pad sizing must honor — padding
+    with the widest reach of the family (as ``_zero_pad`` once did)
+    over-allocates every ``upwind1``/``pfc2``/``slp3`` sweep.
+    """
+    width = max(spec.order, 5) if spec.use_mp else spec.order
+    return (width - 1) // 2
+
+
 def advect(
     f: np.ndarray,
     shift,
     axis: int,
     scheme: str = "slmpp5",
     bc: str = "periodic",
+    out: np.ndarray | None = None,
+    arena=None,
 ) -> np.ndarray:
     """Advance one directional advection by a (possibly >1) CFL shift.
 
@@ -111,11 +156,19 @@ def advect(
         One of :data:`SCHEMES`.
     bc:
         ``periodic`` or ``zero``.
+    out:
+        Optional destination array with the result shape and dtype; may
+        alias ``f``.  When omitted a fresh array is allocated.
+    arena:
+        Optional :class:`repro.perf.arena.ScratchArena` supplying the
+        internal work buffers.  One arena must serve one caller at a
+        time (give each worker thread/process its own).
 
     Returns
     -------
     numpy.ndarray
-        New cell averages, same shape/dtype as ``f``.
+        New cell averages, same shape/dtype as ``f`` (broadcast against
+        the shift's non-advected axes).
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}")
@@ -132,15 +185,32 @@ def advect(
     sh = _normalize_shift(sh=shift, f=f, fw=fw, axis=axis)
 
     if bc == "zero":
-        fw, pad_l, pad_r = _zero_pad(fw, sh, order)
+        fw, pad_l, pad_r = _zero_pad(fw, sh, spec, arena)
 
-    flux = interface_flux(fw, sh, spec)
-    out = fw - (flux - np.roll(flux, 1, axis=-1))
+    flux = interface_flux(fw, sh, spec, arena)
+
+    # d(i) = flux(i+1/2) - flux(i-1/2), periodic wrap of the first cell
+    d = _scratch(arena, ("upd", "delta"), flux.shape, flux.dtype)
+    d[..., 1:] = flux[..., :-1]
+    d[..., 0] = flux[..., -1]
+    np.subtract(flux, d, out=d)
 
     if bc == "zero":
-        out = out[..., pad_l : pad_l + n]
-        out = np.ascontiguousarray(out)
-    return np.moveaxis(out, -1, axis)
+        fw = fw[..., pad_l : pad_l + n]
+        d = d[..., pad_l : pad_l + n]
+
+    res_shape_w = np.broadcast_shapes(fw.shape, d.shape)
+    ax = axis if axis >= 0 else axis + f.ndim
+    res_shape = res_shape_w[:-1][:ax] + (res_shape_w[-1],) + res_shape_w[:-1][ax:]
+    if out is None:
+        out = np.empty(res_shape, dtype=fw.dtype)
+    elif out.shape != res_shape or out.dtype != fw.dtype:
+        raise ValueError(
+            f"out has shape {out.shape}/{out.dtype}, "
+            f"result needs {res_shape}/{fw.dtype}"
+        )
+    np.subtract(fw, d, out=np.moveaxis(out, ax, -1))
+    return out
 
 
 def _normalize_shift(sh, f, fw, axis) -> np.ndarray:
@@ -168,25 +238,31 @@ def _normalize_shift(sh, f, fw, axis) -> np.ndarray:
     return sh
 
 
-def _zero_pad(fw, sh, order):
-    """Pad with zero ghost layers wide enough that nothing wraps."""
-    k_max = max(int(np.floor(np.max(sh))), 0)
-    k_min = min(int(np.floor(np.min(sh))), 0)
-    r = (max(order, 5) - 1) // 2
+def _zero_pad(fw, sh, spec, arena=None):
+    """Pad with the narrowest zero ghost layers this call needs.
+
+    The pad is sized from the *per-call* bound: the largest integer
+    shift actually present in ``sh`` (per sign) plus the stencil reach
+    of the *requested scheme* — not the widest reach of the scheme
+    family.  An ``upwind1`` sweep pads 1 ghost cell per side, not 3;
+    a one-sided shift field pays the CFL-sized pad on one side only.
+    Pencil-sharded callers shrink this further for free: each pencil
+    pads from its own local shift bound.
+    """
+    k_max = max(int(np.floor(float(np.max(sh)))), 0)
+    k_min = min(int(np.floor(float(np.min(sh)))), 0)
+    r = stencil_reach(spec)
     pad_l = k_max + r + 1
     pad_r = -k_min + r + 1
-    padded = np.concatenate(
-        [
-            np.zeros(fw.shape[:-1] + (pad_l,), dtype=fw.dtype),
-            fw,
-            np.zeros(fw.shape[:-1] + (pad_r,), dtype=fw.dtype),
-        ],
-        axis=-1,
-    )
+    n = fw.shape[-1]
+    padded = _scratch(arena, ("pad", "f"), fw.shape[:-1] + (n + pad_l + pad_r,), fw.dtype)
+    padded[..., :pad_l] = 0
+    padded[..., pad_l : pad_l + n] = fw
+    padded[..., pad_l + n :] = 0
     return padded, pad_l, pad_r
 
 
-def interface_flux(fw: np.ndarray, sh: np.ndarray, spec: SchemeSpec) -> np.ndarray:
+def interface_flux(fw: np.ndarray, sh: np.ndarray, spec: SchemeSpec, arena=None) -> np.ndarray:
     """Time-integrated flux through every right interface ``i+1/2``.
 
     Works on the advected-axis-last view with periodic wrap-around.
@@ -200,17 +276,23 @@ def interface_flux(fw: np.ndarray, sh: np.ndarray, spec: SchemeSpec) -> np.ndarr
     any_pos = bool(np.any(sh > 0.0))
 
     if not any_neg:
-        return _flux_positive(fw, sh, spec)
+        return _flux_positive(fw, sh, spec, arena, "pos")
     if not any_pos:
-        return _mirror_flux(fw, sh, spec)
+        return _mirror_flux(fw, sh, spec, arena)
 
     pos_mask = sh >= 0.0
-    f_pos = _flux_positive(fw, np.where(pos_mask, sh, 0.0).astype(fw.dtype), spec)
-    f_neg = _mirror_flux(fw, np.where(pos_mask, 0.0, sh).astype(fw.dtype), spec)
-    return np.where(pos_mask, f_pos, f_neg)
+    f_pos = _flux_positive(
+        fw, np.where(pos_mask, sh, 0.0).astype(fw.dtype), spec, arena, "pos"
+    )
+    f_neg = _mirror_flux(fw, np.where(pos_mask, 0.0, sh).astype(fw.dtype), spec, arena)
+    mix_shape = np.broadcast_shapes(f_pos.shape, f_neg.shape, pos_mask.shape)
+    mix = _scratch(arena, ("mix", "flux"), mix_shape, f_pos.dtype)
+    mix[...] = f_neg
+    np.copyto(mix, f_pos, where=pos_mask)
+    return mix
 
 
-def _mirror_flux(fw, sh, spec):
+def _mirror_flux(fw, sh, spec, arena=None):
     """Flux for non-positive shifts via the reversal symmetry.
 
     Interface ``m+1/2`` of the reversed array is interface ``(N-2-m)+1/2``
@@ -219,45 +301,75 @@ def _mirror_flux(fw, sh, spec):
     """
     g = fw[..., ::-1]
     gs = -(sh[..., ::-1] if sh.shape[-1] != 1 else sh)
-    fg = _flux_positive(g, gs, spec)
-    return -np.roll(fg[..., ::-1], -1, axis=-1)
+    fg = _flux_positive(g, gs, spec, arena, "neg")
+    rev = fg[..., ::-1]
+    out = _scratch(arena, ("neg", "mirror"), fg.shape, fg.dtype)
+    out[..., :-1] = rev[..., 1:]
+    out[..., -1] = rev[..., 0]
+    np.negative(out, out=out)
+    return out
 
 
-def _flux_positive(fw, sh, spec):
+def _flux_positive(fw, sh, spec, arena=None, tag="pos"):
     """Flux for shifts >= 0 everywhere (periodic layout)."""
     k = np.floor(sh).astype(np.int64)
     alpha = (sh - k).astype(fw.dtype)
 
-    flux = _integer_mass(fw, k)
-    st = _gather_stencil(fw, k, spec.order, widen=spec.use_mp)
-    flux += _fractional_flux(st, alpha, spec)
+    flux = _integer_mass(fw, k, arena, tag)
+    st = _gather_stencil(fw, k, spec.order, widen=spec.use_mp, arena=arena, tag=tag)
+    flux += _fractional_flux(st, alpha, spec, arena, tag)
     return flux
 
 
-def _integer_mass(fw, k):
+def _integer_mass(fw, k, arena=None, tag="pos"):
     """S(i, k) = mass of the k whole cells upstream of interface i+1/2.
 
     Uses extended prefix sums: S = C(i) - C_ext(i-k) with
     C_ext(q) = total * (q // N) + C[q mod N], valid for any integer q
     (negative k yields the negative downstream sum, as required by the
     mirror symmetry caller never exercises here but tests do).
+
+    The prefix sums accumulate — and the result stays — in float64
+    regardless of storage dtype: a float32 cumsum over a long axis
+    carries O(n) rounding that leaks straight into the fluxes (~1e3
+    cell-ulps at n = 1024), and even an exact S rounds to ulp(S) when
+    stored at the float32 magnitude of k whole cells.  Keeping S (and
+    hence the flux) in float64 defers the cast to the *telescoped
+    difference* of neighboring fluxes — a cell-scale quantity — which
+    ``advect`` rounds back to the storage dtype exactly once.
     """
     n = fw.shape[-1]
     out_shape = np.broadcast_shapes(fw.shape, k.shape[:-1] + (n,))
+    out = _scratch(arena, (tag, "int_mass"), out_shape, np.float64)
     if np.all(k == 0):
-        return np.zeros(out_shape, dtype=fw.dtype)
-    csum = np.cumsum(fw, axis=-1, dtype=fw.dtype)
+        out[...] = 0
+        return out
+    csum = _scratch(arena, (tag, "csum"), fw.shape, np.float64)
+    np.cumsum(fw, axis=-1, dtype=np.float64, out=csum)
     total = csum[..., -1:]
     i = np.arange(n, dtype=np.int64)
     q = i - k  # broadcasts to (..., n)
     wraps = q // n
     qmod = q - wraps * n
     cb = np.broadcast_to(csum, np.broadcast_shapes(csum.shape, qmod.shape))
-    c_ext_q = total * wraps.astype(fw.dtype) + np.take_along_axis(cb, qmod, axis=-1)
-    return (csum - c_ext_q).astype(fw.dtype)
+    np.multiply(total, wraps, out=out)
+    out += np.take_along_axis(cb, qmod, axis=-1)
+    np.subtract(np.broadcast_to(csum, out_shape), out, out=out)
+    return out
 
 
-def _gather_stencil(fw, k, order, widen=False):
+def _roll_into(dst, src, s):
+    """dst = np.roll(src, s, axis=-1) without the intermediate allocation."""
+    n = src.shape[-1]
+    s %= n
+    if s == 0:
+        dst[...] = src
+    else:
+        dst[..., :s] = src[..., n - s :]
+        dst[..., s:] = src[..., : n - s]
+
+
+def _gather_stencil(fw, k, order, widen=False, arena=None, tag="pos"):
     """Cell averages around the donor cell j = i - k for every interface.
 
     Returns array of shape ``(width,) + broadcast(fw, k)`` with the donor
@@ -267,13 +379,16 @@ def _gather_stencil(fw, k, order, widen=False):
     n = fw.shape[-1]
     width = max(order, 5) if widen else order
     r = (width - 1) // 2
-    i = np.arange(n, dtype=np.int64)
     if k.size == 1:
         kc = int(k.reshape(-1)[0])
-        return np.stack([np.roll(fw, kc - (m - r), axis=-1) for m in range(width)])
+        st = _scratch(arena, (tag, "stencil"), (width,) + fw.shape, fw.dtype)
+        for m in range(width):
+            _roll_into(st[m], fw, kc - (m - r))
+        return st
+    i = np.arange(n, dtype=np.int64)
     j = i - k  # donor index, broadcast (..., n)
     out_shape = (width,) + np.broadcast_shapes(fw.shape, j.shape)
-    st = np.empty(out_shape, dtype=fw.dtype)
+    st = _scratch(arena, (tag, "stencil"), out_shape, fw.dtype)
     fb = np.broadcast_to(fw, out_shape[1:])
     for m in range(width):
         idx = (j + (m - r)) % n
@@ -281,7 +396,7 @@ def _gather_stencil(fw, k, order, widen=False):
     return st
 
 
-def _fractional_flux(st, alpha, spec):
+def _fractional_flux(st, alpha, spec, arena=None, tag="pos"):
     """phi: mass donated from the right alpha-fraction of the donor cell."""
     order, use_mp, use_pos, use_weno, use_pfc = spec
     width = st.shape[0]
@@ -293,9 +408,13 @@ def _fractional_flux(st, alpha, spec):
     else:
         coef = evaluate_flux_coefficients(order, alpha)
         lo = center - (order - 1) // 2
-        phi = np.zeros(np.broadcast_shapes(st.shape[1:], alpha.shape), dtype=st.dtype)
+        pshape = np.broadcast_shapes(st.shape[1:], alpha.shape)
+        phi = _scratch(arena, (tag, "phi"), pshape, st.dtype)
+        term = _scratch(arena, (tag, "phi_term"), pshape, st.dtype)
+        phi[...] = 0
         for m in range(order):
-            phi += coef[m] * st[lo + m]
+            np.multiply(coef[m], st[lo + m], out=term)
+            phi += term
 
     if use_mp:
         if width < 5:

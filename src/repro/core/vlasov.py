@@ -21,13 +21,23 @@ paper's neutrinos move many cells per step at high redshift.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .advection import SCHEMES, advect
 from .mesh import PhaseSpaceGrid
 from . import moments
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..diagnostics.timers import StepTimer
+    from ..perf.arena import ScratchArena
+    from ..perf.pencil import PencilEngine
+
+#: axis letters for timer section names (vlasov/drift/x, vlasov/kick/ux, ...)
+_AXIS_NAMES = "xyz"
 
 
 @dataclass
@@ -46,21 +56,63 @@ class VlasovSolver:
     velocity_bc:
         Boundary condition along the velocity axes; the paper truncates at
         [-V, V) which is the ``zero`` (outflow) condition.
+    engine:
+        Optional :class:`repro.perf.pencil.PencilEngine`; when set, every
+        directional sweep is pencil-sharded across its workers (bitwise
+        identical to the serial path).
+    timer:
+        Optional :class:`repro.diagnostics.StepTimer`; when set, every
+        sweep is recorded as ``vlasov/drift/x`` ... ``vlasov/kick/uz``,
+        so ``timer.report()`` reproduces the paper's Fig. 7-style
+        per-section breakdown.
+    arena:
+        Scratch-buffer pool for the serial path (created automatically);
+        sweeps reuse it so steady-state stepping is allocation-free.
+
+    The solver double-buffers f: each sweep writes into a spare array and
+    swaps, so stepping allocates nothing after the first sweep.
     """
 
     grid: PhaseSpaceGrid
     scheme: str = "slmpp5"
     velocity_bc: str = "zero"
+    engine: "PencilEngine | None" = None
+    timer: "StepTimer | None" = None
+    arena: "ScratchArena | None" = None
     f: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         self.f = self.grid.zeros_f()
+        if self.arena is None:
+            from ..perf.arena import ScratchArena
+
+            self.arena = ScratchArena()
+        self._back: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # split operators
     # ------------------------------------------------------------------
+
+    def _sweep(self, name: str, shift, axis: int, bc: str) -> None:
+        """One directional advection: timed, engine-aware, double-buffered."""
+        if self._back is None or self._back.shape != self.f.shape \
+                or self._back.dtype != self.f.dtype:
+            self._back = np.empty_like(self.f)
+        ctx = self.timer.section(name) if self.timer is not None else nullcontext()
+        with ctx:
+            if self.engine is not None:
+                self.engine.advect(
+                    self.f, shift, axis, scheme=self.scheme, bc=bc,
+                    out=self._back,
+                )
+            else:
+                advect(
+                    self.f, shift, axis, scheme=self.scheme, bc=bc,
+                    out=self._back, arena=self.arena,
+                )
+        self.f, self._back = self._back, self.f
 
     def drift(self, dt_drift: float) -> None:
         """Apply D_x D_y D_z: advect along every spatial axis.
@@ -78,9 +130,9 @@ class VlasovSolver:
         for d in reversed(range(self.grid.dim)):
             u = self.grid.u_center_broadcast(d)
             shift = u * (dt_drift / self.grid.dx[d])
-            self.f = advect(
-                self.f, shift, axis=self.grid.spatial_axis(d),
-                scheme=self.scheme, bc="periodic",
+            self._sweep(
+                f"vlasov/drift/{_AXIS_NAMES[d]}", shift,
+                self.grid.spatial_axis(d), "periodic",
             )
 
     def kick(self, accel: np.ndarray, dt_kick: float) -> None:
@@ -108,9 +160,9 @@ class VlasovSolver:
             a_d = accel[d].astype(self.grid.dtype)
             a_d = a_d.reshape(self.grid.nx + (1,) * self.grid.dim)
             shift = a_d * (dt_kick / self.grid.du[d])
-            self.f = advect(
-                self.f, shift, axis=self.grid.velocity_axis(d),
-                scheme=self.scheme, bc=self.velocity_bc,
+            self._sweep(
+                f"vlasov/kick/u{_AXIS_NAMES[d]}", shift,
+                self.grid.velocity_axis(d), self.velocity_bc,
             )
 
     def strang_step(

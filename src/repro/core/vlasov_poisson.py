@@ -21,8 +21,9 @@ potential between the drift and the second half kick.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -30,6 +31,10 @@ from ..cosmology.background import Cosmology
 from ..gravity.poisson import PeriodicPoissonSolver
 from .mesh import PhaseSpaceGrid
 from .vlasov import VlasovSolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..diagnostics.timers import StepTimer
+    from ..perf.pencil import PencilEngine
 
 
 @dataclass
@@ -42,15 +47,28 @@ class PlasmaVlasovPoisson:
     The electron acceleration is -E = +dphi/dx (unit charge-to-mass ratio,
     charge -1).  Time is in inverse plasma frequencies, velocity in thermal
     units, as usual.
+
+    ``engine``/``timer`` are forwarded to the underlying
+    :class:`VlasovSolver`; with a timer attached, steps record
+    ``vlasov/drift/*``, ``vlasov/kick/*`` and ``poisson`` sections.
     """
 
     grid: PhaseSpaceGrid
     scheme: str = "slmpp5"
+    engine: "PencilEngine | None" = None
+    timer: "StepTimer | None" = None
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        self.solver = VlasovSolver(self.grid, scheme=self.scheme)
+        self.solver = VlasovSolver(
+            self.grid, scheme=self.scheme, engine=self.engine, timer=self.timer
+        )
         self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
+
+    def _timed_accel(self) -> np.ndarray:
+        ctx = self.timer.section("poisson") if self.timer is not None else nullcontext()
+        with ctx:
+            return self.acceleration()
 
     @property
     def f(self) -> np.ndarray:
@@ -88,7 +106,7 @@ class PlasmaVlasovPoisson:
     def step(self, dt: float) -> None:
         """One KDK Strang step of length dt."""
         self.solver.strang_step(
-            self.acceleration(), 0.5 * dt, dt, self.acceleration, 0.5 * dt
+            self._timed_accel(), 0.5 * dt, dt, self._timed_accel, 0.5 * dt
         )
         self.time += dt
 
@@ -127,11 +145,20 @@ class GravitationalVlasovPoisson:
     cosmology: Cosmology | None = None
     external_density: Callable[[], np.ndarray] | None = None
     a: float = 1.0
+    engine: "PencilEngine | None" = None
+    timer: "StepTimer | None" = None
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        self.solver = VlasovSolver(self.grid, scheme=self.scheme)
+        self.solver = VlasovSolver(
+            self.grid, scheme=self.scheme, engine=self.engine, timer=self.timer
+        )
         self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
+
+    def _timed_accel(self, a: float | None = None) -> np.ndarray:
+        ctx = self.timer.section("poisson") if self.timer is not None else nullcontext()
+        with ctx:
+            return self.acceleration(a)
 
     @property
     def f(self) -> np.ndarray:
@@ -183,7 +210,7 @@ class GravitationalVlasovPoisson:
     def step_static(self, dt: float) -> None:
         """KDK step with frozen expansion (a stays fixed)."""
         self.solver.strang_step(
-            self.acceleration(), 0.5 * dt, dt, self.acceleration, 0.5 * dt
+            self._timed_accel(), 0.5 * dt, dt, self._timed_accel, 0.5 * dt
         )
         self.time += dt
 
@@ -205,10 +232,10 @@ class GravitationalVlasovPoisson:
         drift = cosmo.drift_factor(a0, a1)
         kick2 = cosmo.kick_factor(am, a1)
 
-        accel0 = self.acceleration(a=a0)
+        accel0 = self._timed_accel(a=a0)
 
         def second_accel() -> np.ndarray:
-            return self.acceleration(a=a1)
+            return self._timed_accel(a=a1)
 
         self.solver.strang_step(accel0, kick1, drift, second_accel, kick2)
         self.time += cosmo.kick_factor(a0, a1)

@@ -47,12 +47,17 @@ class SectionStats:
 class StepTimer:
     """Named, nestable wall-clock sections.
 
-    Usage::
+    Nested sections are qualified with their parent's name, so the same
+    leaf timed under two parents stays distinguishable (``step/drift``
+    vs ``warmup/drift``).  A name that already carries its parent's
+    prefix — e.g. the explicit ``vlasov/drift`` below — is kept as-is,
+    so both spelling styles produce the same keys::
 
         timer = StepTimer()
         with timer.section("vlasov"):
-            with timer.section("vlasov/drift"):
+            with timer.section("vlasov/drift"):   # or just "drift"
                 ...
+        timer.median("vlasov/drift")
         print(timer.report())
     """
 
@@ -62,7 +67,12 @@ class StepTimer:
 
     @contextmanager
     def section(self, name: str):
-        """Time a code block under ``name``."""
+        """Time a code block under ``name`` (qualified as parent/name
+        when nested inside another section)."""
+        if self._stack:
+            parent = self._stack[-1]
+            if not name.startswith(parent + "/"):
+                name = f"{parent}/{name}"
         self._stack.append(name)
         t0 = time.perf_counter()
         try:

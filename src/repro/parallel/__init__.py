@@ -1,6 +1,6 @@
 """Virtual parallel runtime: decomposition, vMPI, ghost exchange, pencil FFT."""
 
-from .decomposition import GHOST_WIDTH, DomainDecomposition
+from .decomposition import GHOST_WIDTH, DomainDecomposition, pencil_slices
 from .exchange import (
     decomposed_spatial_advect,
     decomposed_velocity_advect,
@@ -19,6 +19,7 @@ from .vmpi import CollectiveRecord, CommLog, MessageRecord, VirtualComm
 __all__ = [
     "GHOST_WIDTH",
     "DomainDecomposition",
+    "pencil_slices",
     "decomposed_spatial_advect",
     "decomposed_velocity_advect",
     "exchange_ghosts",

@@ -23,6 +23,32 @@ import numpy as np
 GHOST_WIDTH = {1: 1, 3: 2, 5: 3, 7: 4}
 
 
+def pencil_slices(n: int, parts: int) -> list[slice]:
+    """Balanced contiguous partition of an ``n``-cell axis into pencils.
+
+    The 1-D analog of the block decomposition below, without the
+    even-divisibility requirement: the first ``n % parts`` pencils get
+    one extra cell.  ``parts`` is clipped to ``n`` so every pencil is
+    non-empty.  This is the shard geometry of
+    :class:`repro.perf.pencil.PencilEngine` (one pencil per worker along
+    a non-advected axis) and matches :meth:`DomainDecomposition.local_slice`
+    whenever ``n`` divides evenly.
+    """
+    if n < 1:
+        raise ValueError("axis length must be >= 1")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    parts = min(parts, n)
+    base, extra = divmod(n, parts)
+    out: list[slice] = []
+    start = 0
+    for p in range(parts):
+        ln = base + (1 if p < extra else 0)
+        out.append(slice(start, start + ln))
+        start += ln
+    return out
+
+
 @dataclass(frozen=True)
 class DomainDecomposition:
     """Even block decomposition of a periodic spatial mesh.

@@ -1,0 +1,24 @@
+"""Single-node performance substrate: scratch arenas and pencil sharding.
+
+The paper's performance model has three pillars — SIMD over non-advected
+indices, spatial domain decomposition with velocity space kept whole,
+and bandwidth-bounded float32 streaming.  NumPy gives us the first; this
+package supplies the single-node analog of the second and stops the
+allocator from taxing the third:
+
+* :class:`~repro.perf.arena.ScratchArena` — preallocated stencil /
+  flux / prefix-sum buffers so repeated ``advect`` calls are
+  allocation-free in steady state;
+* :class:`~repro.perf.pencil.PencilEngine` — shards any directional
+  sweep into pencils along a non-advected axis and dispatches them
+  across worker threads/processes, bitwise-identical to the serial
+  kernel.
+
+See docs/PERFORMANCE.md ("The pencil engine") for when each backend
+wins.
+"""
+
+from .arena import ScratchArena
+from .pencil import PencilEngine
+
+__all__ = ["PencilEngine", "ScratchArena"]

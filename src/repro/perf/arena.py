@@ -1,0 +1,93 @@
+"""Preallocated scratch buffers for the hot advection path.
+
+A directional semi-Lagrangian sweep allocates roughly ten large
+temporaries per call — prefix sums, stencil gathers, fractional fluxes,
+ghost-padded copies, the flux-difference update.  At one sweep that is
+noise; at the six sweeps per Strang step times thousands of steps the
+allocator (and the page-faulting of fresh memory) becomes a measurable
+tax on the paper's hot loop.
+
+:class:`ScratchArena` is a keyed pool of uninitialized work buffers.
+The advection kernels request buffers by ``(key, shape, dtype)``; the
+first request allocates, every later request with the same signature
+returns the *same* memory.  In steady state — fixed grid, fixed scheme —
+every sweep runs allocation-free.
+
+Discipline
+----------
+* Buffers come back **uninitialized** (whatever the previous call left
+  in them); consumers must overwrite every element they read.
+* One arena serves **one caller at a time**.  It is deliberately not
+  locked: give each worker thread/process of a
+  :class:`repro.perf.pencil.PencilEngine` its own arena.
+* An arena pins its high-water memory until :meth:`clear` — size it to
+  the workload by simply letting the workload make its requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """Keyed pool of reusable uninitialized NumPy work buffers."""
+
+    __slots__ = ("_pool", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._pool: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, key, shape, dtype) -> np.ndarray:
+        """Return the pooled buffer for ``(key, shape, dtype)``.
+
+        Contents are unspecified — the caller must fully overwrite.
+        ``key`` is any hashable tag distinguishing concurrent uses of
+        same-shaped buffers within one computation.
+        """
+        shape = tuple(shape)
+        dt = np.dtype(dtype)
+        slot = (key, shape, dt)
+        buf = self._pool.get(slot)
+        if buf is None:
+            self.misses += 1
+            buf = np.empty(shape, dtype=dt)
+            self._pool[slot] = buf
+        else:
+            self.hits += 1
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently pinned by the pool."""
+        return sum(b.nbytes for b in self._pool.values())
+
+    @property
+    def n_buffers(self) -> int:
+        """Number of distinct pooled buffers."""
+        return len(self._pool)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (and reset the hit/miss counters)."""
+        self._pool.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Pool health: buffer count, pinned bytes, hit/miss counters."""
+        return {
+            "n_buffers": self.n_buffers,
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScratchArena(buffers={self.n_buffers}, "
+            f"pinned={self.nbytes / 2**20:.1f} MiB, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -120,6 +120,45 @@ class TestStepTimer:
         assert "outer" in t.sections and "outer/inner" in t.sections
         assert t.sections["outer"].total >= t.sections["outer/inner"].total
 
+    def test_nested_bare_names_qualified_by_parent(self):
+        """Regression: the stack used to be dead weight — a bare nested
+        name was recorded unqualified, merging same-named leaves under
+        different parents."""
+        t = StepTimer()
+        with t.section("step"):
+            with t.section("drift"):
+                pass
+        with t.section("warmup"):
+            with t.section("drift"):
+                pass
+        assert "step/drift" in t.sections
+        assert "warmup/drift" in t.sections
+        assert "drift" not in t.sections
+
+    def test_deep_nesting_chains_prefixes(self):
+        t = StepTimer()
+        with t.section("a"):
+            with t.section("b"):
+                with t.section("c"):
+                    pass
+        assert set(t.sections) == {"a", "a/b", "a/b/c"}
+
+    def test_prequalified_names_not_doubled(self):
+        t = StepTimer()
+        with t.section("vlasov"):
+            with t.section("vlasov/drift"):
+                with t.section("vlasov/drift/x"):
+                    pass
+        assert set(t.sections) == {"vlasov", "vlasov/drift", "vlasov/drift/x"}
+
+    def test_siblings_after_nested_exit_not_qualified(self):
+        t = StepTimer()
+        with t.section("step"):
+            pass
+        with t.section("other"):
+            pass
+        assert set(t.sections) == {"step", "other"}
+
     def test_report_renders(self):
         t = StepTimer()
         with t.section("vlasov"):
