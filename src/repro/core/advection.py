@@ -214,8 +214,16 @@ def advect(
 
 
 def _normalize_shift(sh, f, fw, axis) -> np.ndarray:
-    """Validate and move the shift onto the axis-last layout."""
-    sh = np.asarray(sh, dtype=fw.dtype)
+    """Validate and move the shift onto the axis-last layout.
+
+    The shift always carries float64: it encodes the departure points,
+    and rounding it to float32 storage perturbs them by |shift| * eps32
+    cells — ~3e-5 cells at a 450-cell kick, orders of magnitude above
+    the cell-scale rounding the storage cast is allowed to introduce.
+    Only the *fractional* part (a cell-scale quantity) is cast to the
+    working dtype, inside :func:`_flux_positive`.
+    """
+    sh = np.asarray(sh, dtype=np.float64)
     if sh.ndim:
         ax = axis if axis >= 0 else axis + f.ndim
         if sh.ndim != f.ndim:
@@ -281,10 +289,8 @@ def interface_flux(fw: np.ndarray, sh: np.ndarray, spec: SchemeSpec, arena=None)
         return _mirror_flux(fw, sh, spec, arena)
 
     pos_mask = sh >= 0.0
-    f_pos = _flux_positive(
-        fw, np.where(pos_mask, sh, 0.0).astype(fw.dtype), spec, arena, "pos"
-    )
-    f_neg = _mirror_flux(fw, np.where(pos_mask, 0.0, sh).astype(fw.dtype), spec, arena)
+    f_pos = _flux_positive(fw, np.where(pos_mask, sh, 0.0), spec, arena, "pos")
+    f_neg = _mirror_flux(fw, np.where(pos_mask, 0.0, sh), spec, arena)
     mix_shape = np.broadcast_shapes(f_pos.shape, f_neg.shape, pos_mask.shape)
     mix = _scratch(arena, ("mix", "flux"), mix_shape, f_pos.dtype)
     mix[...] = f_neg
@@ -420,10 +426,18 @@ def _fractional_flux(st, alpha, spec, arena=None, tag="pos"):
         if width < 5:
             raise AssertionError("MP limiting requires the widened 5-cell stencil")
         st5 = st[center - 2 : center + 3]
-        safe_alpha = np.maximum(alpha, np.asarray(1.0e-7, dtype=st.dtype))
+        # u must be rescaled by the *true* alpha on both sides: flooring
+        # the divisor (the old max(alpha, 1e-7)) shrank u for sub-floor
+        # alphas, the limiter clamped it back into physical bounds, and
+        # the re-multiply then overstated the flux by up to floor/alpha.
+        # Dividing by tiny alpha may produce round-off garbage in u, but
+        # the MP clamp bounds it and alpha * u_limited stays monotone
+        # for any alpha in [0, 1].
+        pos = alpha > 0.0
+        safe_alpha = np.where(pos, alpha, np.asarray(1.0, dtype=st.dtype))
         u = phi / safe_alpha
         u = mp_limit_departure_average(u, alpha, st5)
-        phi = np.where(alpha > 0.0, safe_alpha * u, phi)
+        phi = np.where(pos, safe_alpha * u, phi)
     if use_pos:
         phi = positivity_clamp_fraction(phi, st[center])
     return phi

@@ -156,8 +156,12 @@ class VlasovSolver:
             )
         for d in range(self.grid.dim):
             # broadcast the spatial field over the velocity axes, keeping
-            # size 1 along the advected velocity axis
-            a_d = accel[d].astype(self.grid.dtype)
+            # size 1 along the advected velocity axis; the shift stays in
+            # float64 — casting the acceleration to float32 storage first
+            # rounds the departure points themselves (the same precision
+            # leak the fluxes had), while advect already confines storage
+            # precision to f
+            a_d = accel[d].astype(np.float64, copy=False)
             a_d = a_d.reshape(self.grid.nx + (1,) * self.grid.dim)
             shift = a_d * (dt_kick / self.grid.du[d])
             self._sweep(

@@ -50,11 +50,15 @@ class PlasmaVlasovPoisson:
 
     ``engine``/``timer`` are forwarded to the underlying
     :class:`VlasovSolver`; with a timer attached, steps record
-    ``vlasov/drift/*``, ``vlasov/kick/*`` and ``poisson`` sections.
+    ``vlasov/drift/*``, ``vlasov/kick/*`` and the field solve split into
+    ``poisson/moments`` (density reduction), ``poisson/fft`` (forward +
+    potential inverse transform) and ``poisson/grad`` (k-space gradient
+    inverses) — so ``timer.report()`` localizes where the solve spends.
     """
 
     grid: PhaseSpaceGrid
     scheme: str = "slmpp5"
+    gradient_method: str = "spectral"
     engine: "PencilEngine | None" = None
     timer: "StepTimer | None" = None
     time: float = field(default=0.0, init=False)
@@ -79,14 +83,47 @@ class PlasmaVlasovPoisson:
     def f(self, value: np.ndarray) -> None:
         self.solver.f = np.asarray(value, dtype=self.grid.dtype)
 
+    def fields(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fused field solve: ``(phi, electron acceleration)``.
+
+        One forward transform of the density contrast yields both the
+        potential and the acceleration (+grad phi per electron-charge
+        sign; see :meth:`PeriodicPoissonSolver.solve_fields`).
+        """
+        phi, accel = self.poisson.solve_fields(
+            self._density_contrast(),
+            method=self.gradient_method,
+            timer=self.timer,
+        )
+        # solver returns -grad(phi); electrons (charge -1) feel +grad(phi)
+        np.negative(accel, out=accel)
+        return phi, accel
+
+    def _density_contrast(self) -> np.ndarray:
+        ctx = (
+            self.timer.section("moments")
+            if self.timer is not None
+            else nullcontext()
+        )
+        with ctx:
+            rho = self.solver.density()
+            return rho - rho.mean()
+
     def acceleration(self) -> np.ndarray:
-        """Electron acceleration +grad(phi) on the spatial mesh."""
-        rho = self.solver.density()
-        phi = self.poisson.potential(rho - rho.mean())
-        out = np.empty((self.grid.dim,) + self.grid.nx, dtype=np.float64)
-        for d in range(self.grid.dim):
-            out[d] = self.poisson.gradient(phi, d, method="spectral")
-        return out
+        """Electron acceleration +grad(phi) on the spatial mesh.
+
+        The kick path: skips the inverse transform of phi entirely on
+        the spectral-gradient route (see
+        :meth:`PeriodicPoissonSolver.acceleration`).
+        """
+        accel = self.poisson.acceleration(
+            self._density_contrast(),
+            method=self.gradient_method,
+            timer=self.timer,
+        )
+        # solver returns -grad(phi); electrons (charge -1) feel +grad(phi)
+        np.negative(accel, out=accel)
+        return accel
 
     def electric_field(self) -> np.ndarray:
         """E = -grad(phi), shape (dim,) + nx."""
@@ -142,6 +179,7 @@ class GravitationalVlasovPoisson:
     grid: PhaseSpaceGrid
     g_newton: float
     scheme: str = "slmpp5"
+    gradient_method: str = "fd4"
     cosmology: Cosmology | None = None
     external_density: Callable[[], np.ndarray] | None = None
     a: float = 1.0
@@ -178,20 +216,41 @@ class GravitationalVlasovPoisson:
             rho = rho + self.external_density()
         return rho
 
+    def _source(self, a: float) -> np.ndarray:
+        """Poisson source (4 pi G / a)(rho - mean), timed as ``moments``."""
+        ctx = (
+            self.timer.section("moments")
+            if self.timer is not None
+            else nullcontext()
+        )
+        with ctx:
+            rho = self.total_density()
+            return (4.0 * np.pi * self.g_newton / a) * (rho - rho.mean())
+
     def potential(self, a: float | None = None) -> np.ndarray:
         """Peculiar potential of Eq. (2) at scale factor a."""
         a = self.a if a is None else a
-        rho = self.total_density()
-        source = (4.0 * np.pi * self.g_newton / a) * (rho - rho.mean())
-        return self.poisson.potential(source)
+        return self.poisson.potential(self._source(a))
+
+    def fields(self, a: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Fused field solve at scale factor a: ``(phi, -grad phi)``.
+
+        One forward transform of the total density yields both fields
+        (:meth:`PeriodicPoissonSolver.solve_fields`); with a timer
+        attached the solve splits into ``moments`` / ``fft`` / ``grad``.
+        """
+        a = self.a if a is None else a
+        return self.poisson.solve_fields(
+            self._source(a), method=self.gradient_method, timer=self.timer
+        )
 
     def acceleration(self, a: float | None = None) -> np.ndarray:
-        """-grad(phi), shape (dim,) + nx."""
-        phi = self.potential(a)
-        out = np.empty((self.grid.dim,) + self.grid.nx, dtype=np.float64)
-        for d in range(self.grid.dim):
-            out[d] = -self.poisson.gradient(phi, d, method="fd4")
-        return out
+        """-grad(phi), shape (dim,) + nx — the kick path; never inverts
+        phi itself on the spectral-gradient route."""
+        a = self.a if a is None else a
+        return self.poisson.acceleration(
+            self._source(a), method=self.gradient_method, timer=self.timer
+        )
 
     def potential_energy(self, a: float | None = None) -> float:
         """W = (1/2) int rho phi dx (self-energy of the contrast)."""

@@ -26,14 +26,41 @@ Green's functions
 Gradients: ``spectral`` (ik), ``fd2``, ``fd4`` (2nd/4th-order centered
 differences) — the paper's PM force interpolation differentiates the mesh
 potential with finite differences.
+
+The fused pipeline
+------------------
+:meth:`PeriodicPoissonSolver.solve_fields` is the production entry point:
+it transforms the source **once**, forms ``phi_k`` in k-space (optionally
+multiplied by a caller kernel — the TreePM Gaussian cut / window
+deconvolution), and derives *both* the potential and the acceleration
+from that single spectrum: spectral gradients are ``ik * phi_k`` (one
+extra inverse transform per axis, zero extra forward transforms),
+finite-difference gradients are centered differences of the single
+inverse ``phi``.  The historical composition ``potential()`` followed by
+per-axis ``gradient(..., "spectral")`` paid ``1 + dim`` forward
+transforms per solve because each gradient re-transformed phi; the
+FFT-budget tests pin the fused path to exactly one.
+:meth:`PeriodicPoissonSolver.acceleration` is the force-only variant:
+with spectral gradients it also skips the inverse transform of phi
+itself (the kick never reads the potential).
+
+All transforms run through :class:`repro.perf.fft.SpectralBackend`
+(worker threads, warm pocketfft plans, pooled k-space workspaces); pass
+``backend=`` or rely on the process-wide default.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..diagnostics.timers import StepTimer
+    from ..perf.fft import SpectralBackend
 
 _GREENS = ("spectral", "discrete")
 _GRADIENTS = ("spectral", "fd2", "fd4")
@@ -51,11 +78,17 @@ class PeriodicPoissonSolver:
         Physical box size per axis (cubic box: same L each axis).
     green:
         Green's function variant (see module docstring).
+    backend:
+        FFT executor; ``None`` uses the process-wide default
+        (:func:`repro.perf.fft.get_default_backend`).
     """
 
     nx: tuple[int, ...]
     box_size: float
     green: str = "spectral"
+    backend: "SpectralBackend | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nx", tuple(int(n) for n in self.nx))
@@ -78,6 +111,16 @@ class PeriodicPoissonSolver:
         """Mesh spacings."""
         return tuple(self.box_size / n for n in self.nx)
 
+    @property
+    def _backend(self) -> "SpectralBackend":
+        if self.backend is not None:
+            return self.backend
+        # deferred: repro.perf pulls in the pencil engine, whose import
+        # of repro.core would cycle back into this module at load time
+        from ..perf.fft import get_default_backend
+
+        return get_default_backend()
+
     @cached_property
     def _k_axes(self) -> tuple[np.ndarray, ...]:
         """Angular wavenumbers per axis (rfft layout on the last axis)."""
@@ -91,6 +134,11 @@ class PeriodicPoissonSolver:
             shape[d] = k.size
             ks.append(k.reshape(shape))
         return tuple(ks)
+
+    @cached_property
+    def _ik_axes(self) -> tuple[np.ndarray, ...]:
+        """ik per axis — the spectral derivative kernels."""
+        return tuple(1j * k for k in self._k_axes)
 
     @cached_property
     def _inv_laplacian(self) -> np.ndarray:
@@ -110,30 +158,55 @@ class PeriodicPoissonSolver:
 
     # ------------------------------------------------------------------
 
-    def potential(self, source: np.ndarray) -> np.ndarray:
+    def _phi_k(self, source: np.ndarray, kernel: np.ndarray | None) -> np.ndarray:
+        """The potential spectrum from one forward transform of the source."""
+        if source.shape != self.nx:
+            raise ValueError(f"source shape {source.shape} != mesh {self.nx}")
+        # the transform allocates a fresh spectrum, so the in-place
+        # kernel multiplies below never alias caller data
+        phi_k = self._backend.rfftn(source.astype(np.float64, copy=False))
+        phi_k *= self._inv_laplacian
+        if kernel is not None:
+            phi_k *= kernel
+        return phi_k
+
+    def potential(
+        self, source: np.ndarray, kernel: np.ndarray | None = None
+    ) -> np.ndarray:
         """Solve laplacian(phi) = source; the mean of phi is gauged to zero.
 
         The k = 0 mode of the source is discarded (periodic boxes only
         admit solutions for zero-mean sources; callers subtract the mean
         density — the paper's Eq. 2 subtracts rho_bar for exactly this
-        reason).
+        reason).  ``kernel`` is an optional extra k-space multiplier in
+        rfft layout (the PM Gaussian cut / window deconvolution).
         """
-        if source.shape != self.nx:
-            raise ValueError(f"source shape {source.shape} != mesh {self.nx}")
-        s_k = np.fft.rfftn(source.astype(np.float64, copy=False))
-        phi_k = s_k * self._inv_laplacian
-        return np.fft.irfftn(phi_k, s=self.nx, axes=range(self.dim))
+        phi_k = self._phi_k(source, kernel)
+        return self._backend.irfftn(phi_k, s=self.nx)
 
     def gradient(self, phi: np.ndarray, axis: int, method: str = "fd4") -> np.ndarray:
-        """d(phi)/dx_axis on the mesh."""
+        """d(phi)/dx_axis on the mesh.
+
+        Note: the ``spectral`` method transforms phi on every call —
+        differentiating along all axes this way costs ``dim`` forward
+        transforms.  Production field solves use :meth:`solve_fields`,
+        which differentiates the already-available spectrum instead.
+        """
         if method not in _GRADIENTS:
             raise ValueError(f"method must be one of {_GRADIENTS}")
         if phi.shape != self.nx:
             raise ValueError(f"phi shape {phi.shape} != mesh {self.nx}")
-        h = self.dx[axis]
         if method == "spectral":
-            phi_k = np.fft.rfftn(phi)
-            return np.fft.irfftn(phi_k * (1j * self._k_axes[axis]), s=self.nx, axes=range(self.dim))
+            be = self._backend
+            phi_k = be.rfftn(phi)
+            return be.irfftn(
+                be.kspace_product("grad", phi_k, self._ik_axes[axis]), s=self.nx
+            )
+        return self._fd_gradient(phi, axis, method)
+
+    def _fd_gradient(self, phi: np.ndarray, axis: int, method: str) -> np.ndarray:
+        """Centered finite-difference d(phi)/dx_axis (fd2 / fd4)."""
+        h = self.dx[axis]
         if method == "fd2":
             return (np.roll(phi, -1, axis) - np.roll(phi, 1, axis)) / (2.0 * h)
         # fd4
@@ -144,15 +217,92 @@ class PeriodicPoissonSolver:
             + np.roll(phi, 2, axis)
         ) / (12.0 * h)
 
+    def solve_fields(
+        self,
+        source: np.ndarray,
+        method: str = "fd4",
+        kernel: np.ndarray | None = None,
+        timer: "StepTimer | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused field solve: ``(phi, accel)`` from one forward transform.
+
+        Solves laplacian(phi) = source and returns both the potential and
+        the acceleration ``-grad(phi)`` (shape ``(dim,) + nx``).  The
+        source spectrum is computed once; spectral gradients multiply it
+        by ``ik`` in k-space, finite-difference gradients differentiate
+        the single inverse-transformed phi.
+
+        Parameters
+        ----------
+        source:
+            Poisson source on the mesh (zero mode discarded as in
+            :meth:`potential`).
+        method:
+            Gradient method (``spectral``, ``fd2``, ``fd4``).
+        kernel:
+            Optional k-space multiplier folded into ``phi_k`` (rfft
+            layout) — the PM Gaussian cut / window deconvolution ride
+            the same spectrum instead of re-transforming.
+        timer:
+            Optional :class:`repro.diagnostics.StepTimer`; records the
+            transform work under ``fft`` and the differentiation under
+            ``grad`` (qualified by any enclosing section, e.g.
+            ``poisson/fft``).
+        """
+        return self._solve(source, method, kernel, timer, need_phi=True)
+
+    def _solve(
+        self,
+        source: np.ndarray,
+        method: str,
+        kernel: np.ndarray | None,
+        timer: "StepTimer | None",
+        need_phi: bool,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        if method not in _GRADIENTS:
+            raise ValueError(f"method must be one of {_GRADIENTS}")
+        be = self._backend
+
+        ctx = timer.section("fft") if timer is not None else nullcontext()
+        with ctx:
+            phi_k = self._phi_k(source, kernel)
+            # the spectral gradient differentiates phi_k directly, so an
+            # accel-only solve never needs phi in real space at all; the
+            # fd gradients difference phi, which forces its inverse
+            phi = (
+                be.irfftn(phi_k, s=self.nx)
+                if need_phi or method != "spectral"
+                else None
+            )
+
+        ctx = timer.section("grad") if timer is not None else nullcontext()
+        with ctx:
+            accel = np.empty((self.dim,) + self.nx, dtype=np.float64)
+            if method == "spectral":
+                for d in range(self.dim):
+                    grad_k = be.kspace_product("grad", phi_k, self._ik_axes[d])
+                    np.negative(be.irfftn(grad_k, s=self.nx), out=accel[d])
+            else:
+                for d in range(self.dim):
+                    np.negative(self._fd_gradient(phi, d, method), out=accel[d])
+        return phi, accel
+
     def acceleration(
-        self, source: np.ndarray, method: str = "fd4"
+        self,
+        source: np.ndarray,
+        method: str = "fd4",
+        kernel: np.ndarray | None = None,
+        timer: "StepTimer | None" = None,
     ) -> np.ndarray:
-        """-grad(phi) for laplacian(phi) = source; shape (dim,) + nx."""
-        phi = self.potential(source)
-        out = np.empty((self.dim,) + self.nx, dtype=np.float64)
-        for d in range(self.dim):
-            out[d] = -self.gradient(phi, d, method)
-        return out
+        """-grad(phi) for laplacian(phi) = source; shape (dim,) + nx.
+
+        The lean variant of :meth:`solve_fields` for callers that never
+        read the potential (the KDK kick only consumes the force): with
+        spectral gradients the inverse transform of phi itself is
+        skipped, leaving ``1 + dim`` transforms total instead of
+        ``2 + dim``.
+        """
+        return self._solve(source, method, kernel, timer, need_phi=False)[1]
 
 
 def gravity_source(

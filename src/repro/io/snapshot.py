@@ -9,11 +9,21 @@ can resume bit-exactly.
 
 Format: a single ``.npz`` container with a JSON-encoded header —
 self-describing, portable, append-free.
+
+Writes are **atomic**: the container is staged to a temporary file in
+the destination directory and moved into place with ``os.replace``, so
+an interrupted write can never leave a truncated snapshot — and never
+corrupt an existing checkpoint being overwritten (the previous file
+survives intact until the replace).  Writers also return the path that
+actually exists on disk: ``np.savez`` silently appends ``.npz`` to
+suffix-less names, which used to make the returned path (and
+``path.stat()`` with a timer attached) point at a nonexistent file.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +36,29 @@ from ..nbody.particles import ParticleSet
 
 #: Format version written into every header.
 FORMAT_VERSION = 1
+
+
+def _atomic_savez(path: Path, payload: dict) -> Path:
+    """Write an ``.npz`` container atomically; return the real final path.
+
+    Mirrors ``np.savez``'s suffix behavior explicitly (append ``.npz``
+    when missing) so the caller gets the path that exists, then stages
+    the bytes through a same-directory temp file and ``os.replace``s it
+    into place — a crash mid-write leaves either the old file or no
+    file, never a truncated container.
+    """
+    final = path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+    tmp = final.with_name(f".{final.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return final
 
 
 @dataclass
@@ -60,7 +93,8 @@ def write_snapshot(
     """Write a moment-level snapshot (density, velocity, dispersion).
 
     The 6-D f is reduced to its observable moments; particles (if any)
-    are stored in full.  Returns the written path.
+    are stored in full.  Returns the path actually written (``.npz``
+    appended when the caller's name lacks it); the write is atomic.
     """
     path = Path(path)
     t0 = time.perf_counter()
@@ -88,7 +122,7 @@ def write_snapshot(
         payload["positions"] = particles.positions
         payload["velocities"] = particles.velocities
         payload["masses"] = particles.masses
-    np.savez(path, **payload)
+    path = _atomic_savez(path, payload)
     elapsed = time.perf_counter() - t0
     if timer is not None:
         timer.record_write(elapsed, path.stat().st_size)
@@ -122,7 +156,12 @@ def write_checkpoint(
     step: int = 0,
     timer: IOTimer | None = None,
 ) -> Path:
-    """Write a restart checkpoint carrying the full f."""
+    """Write a restart checkpoint carrying the full f.
+
+    Returns the path actually written (``.npz`` appended when missing);
+    the write is atomic, so an interrupted checkpoint never corrupts the
+    restart chain.
+    """
     path = Path(path)
     t0 = time.perf_counter()
     header = {
@@ -145,7 +184,7 @@ def write_checkpoint(
         payload["positions"] = particles.positions
         payload["velocities"] = particles.velocities
         payload["masses"] = particles.masses
-    np.savez(path, **payload)
+    path = _atomic_savez(path, payload)
     elapsed = time.perf_counter() - t0
     if timer is not None:
         timer.record_write(elapsed, path.stat().st_size)

@@ -17,12 +17,16 @@ short-range force lives in :mod:`repro.nbody.phantom`/``tree``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..gravity.poisson import PeriodicPoissonSolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.fft import SpectralBackend
 
 _WINDOWS = ("ngp", "cic", "tsc")
 
@@ -73,6 +77,8 @@ def interpolate_mesh(
     positions = np.asarray(positions, dtype=np.float64)
     n_mesh = mesh.shape
     dim = positions.shape[1]
+    if len(n_mesh) != dim:
+        raise ValueError("mesh dimensionality must match positions")
     scaled = positions / box_size * np.array(n_mesh)
     offsets, weights = _window_offsets_weights(scaled, n_mesh, window)
     flat = mesh.reshape(-1)
@@ -189,6 +195,9 @@ class PMSolver:
         together with the TreePM Gaussian cut, which kills the dangerous
         modes — that is what :class:`repro.nbody.treepm.TreePMSolver`
         does.
+    fft_backend:
+        Optional :class:`repro.perf.fft.SpectralBackend` for the mesh
+        transforms; ``None`` uses the process-wide default.
     """
 
     n_mesh: tuple[int, ...]
@@ -196,6 +205,9 @@ class PMSolver:
     window: str = "cic"
     r_split: float | None = None
     deconvolve: bool = False
+    fft_backend: "SpectralBackend | None" = dataclasses_field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "n_mesh", tuple(int(n) for n in self.n_mesh))
@@ -205,7 +217,9 @@ class PMSolver:
     @cached_property
     def poisson(self) -> PeriodicPoissonSolver:
         """The underlying FFT Poisson solver."""
-        return PeriodicPoissonSolver(self.n_mesh, self.box_size)
+        return PeriodicPoissonSolver(
+            self.n_mesh, self.box_size, backend=self.fft_backend
+        )
 
     @cached_property
     def _kernel_extra(self) -> np.ndarray:
@@ -226,19 +240,27 @@ class PMSolver:
         return assign_mass(positions, masses, self.n_mesh, self.box_size, self.window)
 
     def potential_mesh(self, source: np.ndarray) -> np.ndarray:
-        """Solve laplacian(phi) = source with the PM extras applied."""
-        s_k = np.fft.rfftn(source.astype(np.float64, copy=False))
-        phi_k = s_k * self.poisson._inv_laplacian * self._kernel_extra
-        return np.fft.irfftn(phi_k, s=self.n_mesh, axes=range(len(self.n_mesh)))
+        """Solve laplacian(phi) = source with the PM extras applied.
+
+        The Gaussian cut / deconvolution kernel multiplies straight into
+        ``phi_k`` inside the shared solver — no second transform path.
+        """
+        return self.poisson.potential(source, kernel=self._kernel_extra)
+
+    def fields_mesh(
+        self, source: np.ndarray, method: str = "fd4"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused mesh solve: ``(phi, -grad phi)`` from one forward FFT."""
+        return self.poisson.solve_fields(
+            source, method=method, kernel=self._kernel_extra
+        )
 
     def acceleration_mesh(self, source: np.ndarray, method: str = "fd4") -> np.ndarray:
-        """-grad(phi) on the mesh, shape (dim,) + n_mesh."""
-        phi = self.potential_mesh(source)
-        dim = len(self.n_mesh)
-        out = np.empty((dim,) + self.n_mesh, dtype=np.float64)
-        for d in range(dim):
-            out[d] = -self.poisson.gradient(phi, d, method)
-        return out
+        """-grad(phi) on the mesh, shape (dim,) + n_mesh; with spectral
+        gradients the inverse transform of phi itself is skipped."""
+        return self.poisson.acceleration(
+            source, method=method, kernel=self._kernel_extra
+        )
 
     def accelerations(
         self,

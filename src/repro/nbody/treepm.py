@@ -20,6 +20,7 @@ is the sum of CDM and massive neutrinos").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from .particles import ParticleSet
 from .phantom import InteractionCounter
 from .pm import PMSolver, interpolate_mesh
 from .tree import BarnesHutTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.fft import SpectralBackend
 
 
 def pm_mesh_for_particles(n_cdm: int, dim: int = 3) -> int:
@@ -64,6 +68,11 @@ class TreePMSolver:
         PM mass-assignment window.
     leaf_size:
         Tree bucket size.
+    fft_backend:
+        Optional :class:`repro.perf.fft.SpectralBackend` shared by the
+        PM transforms (the Gaussian cut and deconvolution multiply into
+        the one source spectrum, so each PM solve is a single forward
+        FFT).
     """
 
     n_mesh: tuple[int, ...]
@@ -74,6 +83,7 @@ class TreePMSolver:
     theta: float = 0.5
     window: str = "tsc"
     leaf_size: int = 32
+    fft_backend: "SpectralBackend | None" = None
 
     def __post_init__(self) -> None:
         self.n_mesh = tuple(int(n) for n in self.n_mesh)
@@ -90,6 +100,7 @@ class TreePMSolver:
             # safe here: the Gaussian cut suppresses the near-Nyquist
             # modes the W^2 division would otherwise amplify
             deconvolve=True,
+            fft_backend=self.fft_backend,
         )
         self.counter = InteractionCounter()
 

@@ -12,13 +12,24 @@ allocator from taxing the third:
 * :class:`~repro.perf.pencil.PencilEngine` — shards any directional
   sweep into pencils along a non-advected axis and dispatches them
   across worker threads/processes, bitwise-identical to the serial
-  kernel.
+  kernel;
+* :class:`~repro.perf.fft.SpectralBackend` — plan-cached, worker-
+  threaded FFT executor (scipy.fft pocketfft with a numpy fallback)
+  behind every field solve, with pooled complex workspaces and
+  transform counters the FFT-budget tests assert against.
 
-See docs/PERFORMANCE.md ("The pencil engine") for when each backend
-wins.
+See docs/PERFORMANCE.md ("The pencil engine", "The fused spectral
+pipeline") for when each backend wins.
 """
 
 from .arena import ScratchArena
+from .fft import SpectralBackend, get_default_backend, set_default_backend
 from .pencil import PencilEngine
 
-__all__ = ["PencilEngine", "ScratchArena"]
+__all__ = [
+    "PencilEngine",
+    "ScratchArena",
+    "SpectralBackend",
+    "get_default_backend",
+    "set_default_backend",
+]

@@ -89,6 +89,23 @@ class TestMonotonicity:
         assert g.max() <= hi + 1e-5 * span
         assert g.min() >= lo - 1e-5 * span
 
+    @pytest.mark.parametrize("shift", [2.0**-24, 1e-10, 1e-15])
+    def test_sub_floor_alpha_stays_monotone(self, shift):
+        """Issue regression: fractional shifts below the limiter's old
+        1e-7 rescale floor inflated the flux by up to floor/alpha — the
+        MP clamp pulled u back into physical bounds but the re-multiply
+        used the floored alpha, so a step profile grew ~1e-7 of overshoot
+        per application.  The flux must rescale by the *true* alpha."""
+        lo, hi = 3.803, 3.835
+        f = np.full(64, lo)
+        f[16:40] = hi
+        g = f
+        for _ in range(5):
+            g = advect(g, shift, 0, scheme="slmpp5")
+        span = hi - lo
+        assert g.max() <= hi + 1e-5 * span
+        assert g.min() >= lo - 1e-5 * span
+
     @given(seeds)
     @settings(max_examples=40, deadline=None)
     def test_triangular_profile_bounded(self, seed):

@@ -74,6 +74,69 @@ class TestSnapshot:
             read_snapshot(path)
 
 
+class TestAtomicWrites:
+    """Issue regressions: suffix-less paths returned a nonexistent file
+    (np.savez silently appends .npz — and path.stat() raised with a
+    timer attached), and an interrupted write could leave a truncated
+    container where a good checkpoint used to be."""
+
+    def test_suffixless_snapshot_returns_real_path(self, tmp_path, grid, f):
+        timer = IOTimer()
+        path = write_snapshot(tmp_path / "snap", grid, f, timer=timer)
+        assert path.name == "snap.npz"
+        assert path.exists()
+        assert timer.bytes_written == path.stat().st_size
+        assert read_snapshot(path)["header"]["kind"] == "snapshot"
+
+    def test_suffixless_checkpoint_returns_real_path(self, tmp_path, grid, f):
+        timer = IOTimer()
+        path = write_checkpoint(tmp_path / "ck", grid, f, step=3, timer=timer)
+        assert path.name == "ck.npz"
+        assert path.exists()
+        _, f2, _, header = read_checkpoint(path)
+        assert np.array_equal(f2, f)
+        assert header["step"] == 3
+
+    def test_odd_suffix_is_kept_plus_npz(self, tmp_path, grid, f):
+        """np.savez semantics, made explicit: 'snap.v1' -> 'snap.v1.npz'."""
+        path = write_snapshot(tmp_path / "snap.v1", grid, f)
+        assert path.name == "snap.v1.npz"
+        assert path.exists()
+
+    def test_interrupted_write_leaves_no_file(self, tmp_path, grid, f, monkeypatch):
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(KeyboardInterrupt):
+            write_checkpoint(tmp_path / "ck.npz", grid, f)
+        assert list(tmp_path.iterdir()) == []  # no final file, no temp litter
+
+    def test_interrupted_overwrite_keeps_previous_checkpoint(
+        self, tmp_path, grid, f, monkeypatch
+    ):
+        """The restart chain survives a crash mid-overwrite: the old
+        checkpoint is replaced only after the new bytes are complete."""
+        path = write_checkpoint(tmp_path / "ck.npz", grid, f, step=1)
+
+        real_savez = np.savez
+
+        def truncating(fh, **payload):
+            real_savez(fh, **payload)  # bytes hit the temp file...
+            raise OSError("disk gone")  # ...but the write "crashes"
+
+        monkeypatch.setattr(np, "savez", truncating)
+        f2 = f + 1.0
+        with pytest.raises(OSError):
+            write_checkpoint(tmp_path / "ck.npz", grid, f2, step=2)
+        monkeypatch.undo()
+
+        _, f_read, _, header = read_checkpoint(path)
+        assert header["step"] == 1
+        assert np.array_equal(f_read, f)
+        assert list(tmp_path.iterdir()) == [path]
+
+
 class TestCheckpoint:
     def test_bit_exact_roundtrip(self, tmp_path, grid, f, particles):
         path = write_checkpoint(

@@ -96,6 +96,16 @@ class TestInterpolation:
         expected = pos[:, 0] - 0.5
         assert np.allclose(vals, expected, rtol=1e-12)
 
+    def test_dimension_mismatch_rejected(self, rng):
+        """Issue regression: a dim mismatch used to compute garbage
+        strides silently instead of raising like assign_mass does."""
+        mesh = np.zeros((8, 8))
+        pos3 = rng.uniform(0, 4, (10, 3))
+        with pytest.raises(ValueError):
+            interpolate_mesh(mesh, pos3, 4.0, "cic")
+        with pytest.raises(ValueError):
+            interpolate_mesh(np.zeros(8), pos3[:, :2], 4.0, "tsc")
+
 
 class TestDeconvolution:
     def test_dc_mode_unity(self):

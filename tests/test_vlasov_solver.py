@@ -152,3 +152,77 @@ class TestRecurrence2D2V:
             g = advect(g, u * (0.05 / grid.dx[d]), d, scheme="slp5")
         # linear schemes commute across distinct axes: same result
         assert np.allclose(s1.f, g, atol=1e-12)
+
+
+class TestKickShiftPrecision:
+    """Issue regression: the kick used to cast the acceleration to the
+    storage dtype *before* forming shift = a * (dt / du), so float32
+    runs advected along rounded departure points — the same class of
+    precision leak the flux prefix sums had.  The shift must be computed
+    in float64; advect confines storage precision to f itself."""
+
+    def test_float32_kick_uses_float64_shift_bitwise(self):
+        """The kick must be bitwise identical to advecting with the
+        exact float64 shift (an acceleration with low bits beyond
+        float32 resolution detects any premature cast)."""
+        grid = PhaseSpaceGrid(
+            nx=(8,), nu=(32,), box_size=1.0, v_max=4.0, dtype=np.float32
+        )
+        rng = np.random.default_rng(7)
+        f0 = rng.random(grid.shape).astype(np.float32)
+        a_val = 1.0 + 2.0**-40  # not representable in float32
+        accel = np.full((1,) + grid.nx, a_val)
+        dt = 0.3
+
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = f0.copy()
+        solver.kick(accel, dt)
+
+        from repro.core.advection import advect
+
+        shift = accel[0].astype(np.float64).reshape(grid.nx + (1,)) * (
+            dt / grid.du[0]
+        )
+        expected = advect(f0.copy(), shift, 1, scheme="slmpp5", bc="zero")
+        assert solver.f.tobytes() == expected.tobytes()
+
+    def test_large_shift_reference_isolates_the_leak(self):
+        """Large kicks, float64-shift reference through the identical
+        float32 storage path: the fixed kick reproduces the reference
+        bitwise, while the pre-fix rounded shift (acceleration cast to
+        float32 first) perturbs the departure points by
+        |shift| * eps32 cells — tens of float32 ulps of error in f at a
+        ~450-cell shift."""
+        n_u = 512
+        grid = PhaseSpaceGrid(
+            nx=(4,), nu=(n_u,), box_size=1.0, v_max=4.0, dtype=np.float32
+        )
+        rng = np.random.default_rng(11)
+        f0 = (0.5 + rng.random(grid.shape)).astype(np.float32)
+        a_val = 10.0 / 3.0  # infinite binary expansion
+        accel = np.full((1,) + grid.nx, a_val)
+        du = grid.du[0]
+        dt = 450.123 * du / a_val  # ~450-cell shift
+
+        from repro.core.advection import advect
+
+        shape = grid.nx + (1,)
+        shift64 = accel[0].reshape(shape) * (dt / du)
+        reference = advect(f0.copy(), shift64, 1, scheme="slmpp5", bc="zero")
+
+        solver = VlasovSolver(grid, scheme="slmpp5")
+        solver.f = f0.copy()
+        solver.kick(accel, dt)
+        assert solver.f.tobytes() == reference.tobytes()
+
+        # the evicted behavior, for contrast: storage-rounded shift
+        shift32 = accel[0].astype(np.float32).astype(np.float64).reshape(
+            shape
+        ) * (dt / du)
+        rounded = advect(f0.copy(), shift32, 1, scheme="slmpp5", bc="zero")
+        err = np.abs(rounded.astype(np.float64) - reference).max()
+        ulp = float(np.finfo(np.float32).eps)  # at the ~1.5 scale of f
+        assert err > 20 * ulp, (
+            f"rounded-shift error only {err / ulp:.1f} float32 ulps — "
+            "test no longer exercises the precision leak"
+        )
