@@ -1,0 +1,118 @@
+"""Orchestration overhead: SimulationRunner vs a bare driver loop.
+
+The runtime layer adds per-step work — guard checks, ledger updates,
+telemetry serialization + flush, section bookkeeping — and periodic
+checkpoint writes. This job measures that tax on a plasma workload
+large enough for the physics to dominate, and asserts it stays small:
+the whole point of the subsystem is that production discipline is
+(nearly) free.
+
+Opt-in job: skipped unless ``REPRO_BENCH=1`` (keeps tier-1 fast).
+
+Run standalone with ``python benchmarks/bench_runtime_overhead.py`` or
+via ``REPRO_BENCH=1 pytest benchmarks/bench_runtime_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_ENABLED = os.environ.get("REPRO_BENCH", "") == "1"
+
+pytestmark = [
+    pytest.mark.bench,
+    pytest.mark.skipif(
+        not BENCH_ENABLED, reason="benchmark job: set REPRO_BENCH=1 to run"
+    ),
+]
+
+NX, NU = 128, 256
+N_STEPS = 40
+DT = 0.1
+#: Acceptance ceiling on the orchestration tax (cadenced checkpoints
+#: excluded — those buy restartability and are priced separately).
+MAX_OVERHEAD_FRACTION = 0.15
+
+
+def _bare_loop() -> float:
+    """The un-orchestrated reference: driver + perturbation, no harness."""
+    from repro.core import PhaseSpaceGrid, PlasmaVlasovPoisson
+
+    grid = PhaseSpaceGrid(nx=(NX,), nu=(NU,), box_size=4 * np.pi,
+                          v_max=6.0, dtype=np.float64)
+    vp = PlasmaVlasovPoisson(grid, scheme="slmpp5")
+    x = grid.x_centers(0)[:, None]
+    v = grid.u_centers(0)[None, :]
+    vp.f = (1 + 0.01 * np.cos(0.5 * x)) * np.exp(-v**2 / 2) / np.sqrt(2 * np.pi)
+    t0 = time.perf_counter()
+    for _ in range(N_STEPS):
+        vp.step(DT)
+    return time.perf_counter() - t0
+
+
+def _orchestrated(every_steps: int | None) -> float:
+    """The same schedule through SimulationRunner."""
+    from repro.runtime import RunConfig, SimulationRunner
+    from repro.runtime.config import CheckpointConfig, GridConfig, ScheduleConfig
+
+    config = RunConfig(
+        scenario="plasma",
+        name="bench",
+        grid=GridConfig(nx=(NX,), nu=(NU,), box_size=4 * np.pi, v_max=6.0),
+        schedule=ScheduleConfig(kind="time", dt=DT, n_steps=N_STEPS),
+        checkpoint=CheckpointConfig(every_steps=every_steps, keep_last=2),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        runner = SimulationRunner.create(config, Path(tmp) / "run")
+        t0 = time.perf_counter()
+        code = runner.run()
+        elapsed = time.perf_counter() - t0
+    assert code == 0
+    return elapsed
+
+
+def report() -> tuple[str, float]:
+    bare = min(_bare_loop() for _ in range(2))
+    harness = min(_orchestrated(every_steps=None) for _ in range(2))
+    cadenced = _orchestrated(every_steps=5)
+
+    tax = harness / bare - 1.0
+    ck_cost = (cadenced - harness) / (N_STEPS / 5)
+    lines = [
+        f"workload: plasma {NX}x{NU}, {N_STEPS} steps of dt={DT} (slmpp5)",
+        f"bare driver loop        : {bare:8.3f} s "
+        f"({bare / N_STEPS * 1e3:6.2f} ms/step)",
+        f"runner (no cadence)     : {harness:8.3f} s "
+        f"({harness / N_STEPS * 1e3:6.2f} ms/step)",
+        f"runner (ck every 5)     : {cadenced:8.3f} s",
+        f"orchestration tax       : {tax:+8.2%}  (ceiling "
+        f"{MAX_OVERHEAD_FRACTION:.0%})",
+        f"per-checkpoint cost     : {ck_cost * 1e3:8.2f} ms",
+    ]
+    return "\n".join(lines), tax
+
+
+def test_runtime_overhead_small():
+    text, tax = report()
+    print("\n===== runtime_overhead =====\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runtime_overhead.txt").write_text(text + "\n")
+    assert tax < MAX_OVERHEAD_FRACTION, (
+        f"runner overhead {tax:.1%} exceeds {MAX_OVERHEAD_FRACTION:.0%}"
+    )
+    payload = {"tax": tax, "workload": f"{NX}x{NU}x{N_STEPS}"}
+    (RESULTS_DIR / "BENCH_runtime_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+if __name__ == "__main__":
+    print(report()[0])

@@ -8,110 +8,24 @@ and evolves both components from z = 10 to z = 0 through the shared
 gravitational potential (paper §5.1.2), reporting the Fig. 4-style
 statistics along the way.
 
+The workload itself lives in the package
+(:func:`repro.runtime.scenarios.hybrid_demo`, with the builder in
+:func:`repro.runtime.scenarios.build_hybrid_simulation`), so the CLI
+(``repro hybrid``) and the run orchestrator share it; this file is the
+runnable entry point kept for discoverability.
+
 Run:  python examples/cosmic_neutrinos.py [--nx 8] [--nu 8] [--steps 6]
 """
 
 from __future__ import annotations
 
-import argparse
-import time
-
-import numpy as np
-
-from repro.core.hybrid import HybridSimulation, build_neutrino_component
-from repro.core.mesh import PhaseSpaceGrid
-from repro.cosmology import (
-    Cosmology,
-    LinearPower,
-    RelicNeutrinoDistribution,
-    growth_factor,
-    growth_suppression_factor,
-)
-from repro.diagnostics import ConservationLedger, StepTimer
-from repro.ic import (
-    FourierGrid,
-    filter_field_fourier,
-    gaussian_field_fourier,
-    linear_velocity_field,
-    zeldovich_particles,
-)
-from repro.nbody.integrator import scale_factor_steps
+from repro.runtime.scenarios import hybrid_demo
 
 
-def main() -> None:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--nx", type=int, default=8, help="spatial cells per axis")
-    ap.add_argument("--nu", type=int, default=8, help="velocity cells per axis")
-    ap.add_argument("--box", type=float, default=200.0, help="box size [Mpc/h]")
-    ap.add_argument("--steps", type=int, default=6, help="KDK steps z=10 -> 0")
-    ap.add_argument("--m-nu", type=float, default=0.4, help="total nu mass [eV]")
-    ap.add_argument("--seed", type=int, default=42)
-    ap.add_argument("--tree", action="store_true", help="enable the tree force")
-    args = ap.parse_args()
-
-    cosmo = Cosmology(m_nu_total_ev=args.m_nu)
-    fd = RelicNeutrinoDistribution(args.m_nu / 3.0, cosmo.units)
-    print(f"cosmology: Omega_m={cosmo.omega_m}, M_nu={args.m_nu} eV "
-          f"(f_nu={cosmo.f_nu:.3f}), u_thermal={fd.mean_speed:.0f} km/s")
-
-    grid = PhaseSpaceGrid(
-        nx=(args.nx,) * 3, nu=(args.nu,) * 3, box_size=args.box,
-        v_max=fd.velocity_cutoff(0.997),
-    )
-    print(grid)
-
-    # --- shared Gaussian realization ------------------------------------
-    a_start = 1.0 / 11.0  # z = 10, the paper's starting epoch
-    rng = np.random.default_rng(args.seed)
-    fgrid = FourierGrid((args.nx,) * 3, args.box)
-    power = LinearPower(cosmo)
-    dk = gaussian_field_fourier(fgrid, lambda k: power(k), rng)
-
-    # CDM: Zel'dovich-displaced lattice (2 particles per mesh cell/axis)
-    cdm_mass = (cosmo.omega_cdm + cosmo.omega_b) * cosmo.units.rho_crit * args.box**3
-    cdm = zeldovich_particles(dk, fgrid, cosmo, a_start, 2 * args.nx, cdm_mass)
-    print(f"CDM: {cdm.n} particles, total mass {cdm.total_mass:.3e}")
-
-    # neutrinos: same phases, free-streaming-suppressed amplitude + bulk flow
-    d0 = float(growth_factor(cosmo, a_start))
-    dk_nu = filter_field_fourier(
-        dk, fgrid,
-        lambda k: np.sqrt(np.clip(growth_suppression_factor(cosmo, k), 0, None)),
-    )
-    delta_nu = d0 * np.fft.irfftn(dk_nu, s=fgrid.n_mesh, axes=range(3))
-    bulk = linear_velocity_field(dk_nu, fgrid, cosmo, a_start)
-
-    sim = HybridSimulation(grid, cdm, cosmo, a=a_start, use_tree=args.tree)
-    sim.neutrinos.f = build_neutrino_component(
-        grid, cosmo, delta_nu=delta_nu, bulk_velocity=bulk
-    )
-
-    ledger = ConservationLedger()
-    ledger.register(nu_mass=sim.neutrino_mass())
-    timer = StepTimer()
-
-    # --- evolve to z = 0 --------------------------------------------------
-    schedule = scale_factor_steps(a_start, 1.0, args.steps)
-    print(f"\n{'a':>6} {'z':>6} {'sigma_cdm':>10} {'sigma_nu':>9} {'cross':>6} {'s/step':>7}")
-    for a_next in schedule[1:]:
-        t0 = time.perf_counter()
-        with timer.section("step"):
-            sim.step(float(a_next))
-        ledger.update(nu_mass=sim.neutrino_mass())
-        rho_c, rho_n = sim.cdm_density(), sim.neutrino_density()
-        cc = np.corrcoef(rho_c.ravel(), rho_n.ravel())[0, 1]
-        print(
-            f"{sim.a:6.3f} {sim.redshift():6.2f} "
-            f"{(rho_c / rho_c.mean() - 1).std():10.4f} "
-            f"{(rho_n / rho_n.mean() - 1).std():9.4f} {cc:6.3f} "
-            f"{time.perf_counter() - t0:7.2f}"
-        )
-
-    print(f"\nneutrino mass drift over the run: "
-          f"{ledger.relative_drift('nu_mass'):.2e}")
-    print(f"min f at z=0: {sim.neutrinos.f.min():+.3e}")
-    print(timer.report())
+def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` and run the mini cosmological hybrid simulation."""
+    return hybrid_demo(argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

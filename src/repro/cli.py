@@ -6,15 +6,19 @@ without writing a script:
 * ``info``     — version, subsystem inventory, paper reference;
 * ``landau``   — run the Landau-damping validation and report the rate;
 * ``hybrid``   — run a mini cosmological hybrid simulation;
+* ``run``      — start a production run from a config file;
+* ``resume``   — continue an interrupted run from its run directory;
 * ``scaling``  — print Tables 2-4 + the time-to-solution report;
 * ``memory``   — per-node memory audit of the Table 2 runs;
 * ``schemes``  — list the advection schemes and their properties.
+
+``run``/``resume`` return the runtime subsystem's exit-code contract
+(0 complete, 75 resumable, 70 guard abort — see ``docs/RUNTIME.md``).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 
 def cmd_info(_: argparse.Namespace) -> int:
@@ -29,7 +33,7 @@ def cmd_info(_: argparse.Namespace) -> int:
     )
     print(f"advection schemes: {', '.join(sorted(SCHEMES))}")
     print("subsystems: core gravity nbody cosmology ic parallel simd machine")
-    print("            scaling io analysis diagnostics plasma")
+    print("            scaling io analysis diagnostics plasma runtime")
     print("see README.md / DESIGN.md / EXPERIMENTS.md")
     return 0
 
@@ -68,20 +72,36 @@ def cmd_landau(args: argparse.Namespace) -> int:
 
 
 def cmd_hybrid(args: argparse.Namespace) -> int:
-    """Mini cosmological hybrid run (delegates to the example)."""
-    sys.argv = [
-        "cosmic_neutrinos",
+    """Mini cosmological hybrid run (the packaged demo).
+
+    The workload lives in :func:`repro.runtime.scenarios.hybrid_demo`,
+    so this works however the package is installed — no examples tree,
+    no ``sys.argv`` mutation, no ``exec``.
+    """
+    from repro.runtime.scenarios import hybrid_demo
+
+    return hybrid_demo([
         "--nx", str(args.nx), "--nu", str(args.nu),
         "--steps", str(args.steps), "--m-nu", str(args.m_nu),
-    ]
-    import pathlib
+    ])
 
-    example = pathlib.Path(__file__).resolve().parents[2] / "examples" / "cosmic_neutrinos.py"
-    if example.exists():
-        exec(compile(example.read_text(), str(example), "exec"), {"__name__": "__main__"})
-        return 0
-    print("examples/cosmic_neutrinos.py not found (installed without examples)")
-    return 1
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Start (or re-enter) a production run from a config file."""
+    from repro.runtime import RunConfig, SimulationRunner
+
+    config = RunConfig.load(args.config)
+    run_dir = args.run_dir if args.run_dir else f"{config.name}.run"
+    runner = SimulationRunner.create(config, run_dir)
+    return runner.run(max_steps=args.max_steps)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted run from its run directory."""
+    from repro.runtime import SimulationRunner
+
+    runner = SimulationRunner.resume(args.run_dir)
+    return runner.run(max_steps=args.max_steps)
 
 
 def cmd_scaling(_: argparse.Namespace) -> int:
@@ -156,6 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--m-nu", type=float, default=0.4)
 
+    p = sub.add_parser("run", help="production run from a config file")
+    p.add_argument("config", help="RunConfig file (.json or .toml)")
+    p.add_argument("--run-dir", default=None,
+                   help="run directory (default: <config name>.run)")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="cap steps this invocation (exits resumable)")
+
+    p = sub.add_parser("resume", help="continue an interrupted run")
+    p.add_argument("run_dir", help="run directory holding run.json")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="cap steps this invocation (exits resumable)")
+
     sub.add_parser("scaling", help="Tables 2-4 + time-to-solution")
     sub.add_parser("memory", help="per-node memory audit")
     sub.add_parser("schemes", help="list advection schemes")
@@ -167,6 +199,8 @@ _COMMANDS = {
     "info": cmd_info,
     "landau": cmd_landau,
     "hybrid": cmd_hybrid,
+    "run": cmd_run,
+    "resume": cmd_resume,
     "scaling": cmd_scaling,
     "memory": cmd_memory,
     "schemes": cmd_schemes,

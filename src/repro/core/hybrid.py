@@ -181,13 +181,13 @@ class HybridSimulation:
     # checkpoint / restart
     # ------------------------------------------------------------------
 
-    def save_checkpoint(self, path, timer=None):
+    def save_checkpoint(self, path, timer=None, extra=None):
         """Write the full state (f + particles + epoch) for bit-exact restart."""
         from ..io.snapshot import write_checkpoint
 
         return write_checkpoint(
             path, self.grid, self.neutrinos.f, self.cdm,
-            a=self.a, step=self.step_count, timer=timer,
+            a=self.a, step=self.step_count, extra=extra, timer=timer,
         )
 
     def load_checkpoint(self, path, timer=None) -> None:

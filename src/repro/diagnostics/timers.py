@@ -103,32 +103,102 @@ class StepTimer:
 class ConservationLedger:
     """Tracks conserved quantities across a run.
 
-    Register the initial values once; ``check`` returns the worst
-    relative drift so far — the tests assert it stays within scheme
+    Register the initial values once; :meth:`relative_drift` returns the
+    worst drift so far — the tests assert it stays within scheme
     guarantees (mass: machine epsilon; energy: splitting-order drift).
+
+    Drift semantics are explicit about the zero-initial-value corner: a
+    quantity registered at ``q0 != 0`` reports the *relative* drift
+    ``max |q/q0 - 1|``, while one registered at exactly ``q0 == 0`` (net
+    momentum of a symmetric IC, say) has no meaningful relative scale and
+    reports the *absolute* excursion ``max |q|`` instead.
+    :meth:`is_relative` tells the caller which of the two a key uses, so
+    thresholds are never compared against the wrong kind silently.
+
+    The worst drift is maintained incrementally — ``relative_drift`` is
+    O(1) per call, not O(steps) — so per-step telemetry can export it
+    without turning a long run quadratic.
     """
 
     initial: dict[str, float] = field(default_factory=dict)
     history: dict[str, list[float]] = field(default_factory=dict)
+    _worst: dict[str, float] = field(default_factory=dict, repr=False)
 
     def register(self, **quantities: float) -> None:
         """Record initial values."""
         for key, value in quantities.items():
             self.initial[key] = float(value)
             self.history[key] = [float(value)]
+            self._worst[key] = self._one_drift(key, float(value))
 
     def update(self, **quantities: float) -> None:
         """Record current values."""
         for key, value in quantities.items():
             if key not in self.initial:
                 raise KeyError(f"{key!r} was never registered")
-            self.history[key].append(float(value))
+            value = float(value)
+            self.history[key].append(value)
+            drift = self._one_drift(key, value)
+            if drift > self._worst[key]:
+                self._worst[key] = drift
+
+    def _one_drift(self, key: str, value: float) -> float:
+        q0 = self.initial[key]
+        if q0 == 0.0:
+            return abs(value)
+        return abs(value / q0 - 1.0)
+
+    def is_relative(self, key: str) -> bool:
+        """Whether this key's drift is relative (q0 != 0) or absolute."""
+        if key not in self.initial:
+            raise KeyError(f"{key!r} was never registered")
+        return self.initial[key] != 0.0
+
+    def current(self, key: str) -> float:
+        """Most recently recorded value of one quantity."""
+        if key not in self.initial:
+            raise KeyError(f"{key!r} was never registered")
+        return self.history[key][-1]
 
     def relative_drift(self, key: str) -> float:
-        """Largest |q/q0 - 1| seen for one quantity."""
+        """Largest |q/q0 - 1| seen (|q| when q0 == 0 — see class docs)."""
+        if key not in self.initial:
+            raise KeyError(f"{key!r} was never registered")
+        return self._worst[key]
+
+    #: Alias making the mixed semantics visible at call sites.
+    drift = relative_drift
+
+    def absolute_drift(self, key: str) -> float:
+        """Largest |q - q0| seen for one quantity."""
         if key not in self.initial:
             raise KeyError(f"{key!r} was never registered")
         q0 = self.initial[key]
-        if q0 == 0.0:
-            return max(abs(q) for q in self.history[key])
-        return max(abs(q / q0 - 1.0) for q in self.history[key])
+        return max(abs(q - q0) for q in self.history[key])
+
+    def as_dict(self) -> dict[str, dict]:
+        """Machine-readable export (the telemetry stream's ``drifts``).
+
+        One entry per registered quantity: initial and latest values,
+        the worst drift, and whether that drift is relative.
+        """
+        return {
+            key: {
+                "initial": self.initial[key],
+                "latest": self.history[key][-1],
+                "drift": self._worst[key],
+                "relative": self.initial[key] != 0.0,
+            }
+            for key in self.initial
+        }
+
+    def report(self) -> str:
+        """Text table: quantity, initial, latest, worst drift."""
+        lines = [f"{'quantity':<16} {'initial':>14} {'latest':>14} {'drift':>10} kind"]
+        for key, row in self.as_dict().items():
+            kind = "rel" if row["relative"] else "abs"
+            lines.append(
+                f"{key:<16} {row['initial']:>14.6e} {row['latest']:>14.6e} "
+                f"{row['drift']:>10.3e} {kind}"
+            )
+        return "\n".join(lines)

@@ -35,7 +35,16 @@ from ..core import moments
 from ..nbody.particles import ParticleSet
 
 #: Format version written into every header.
-FORMAT_VERSION = 1
+#:
+#: * v1 — checkpoints carried ``a`` and ``step`` only; enough for the
+#:   hybrid driver (whose clock *is* the scale factor) but lossy for the
+#:   plasma/static drivers, which accumulate a proper ``time``.
+#: * v2 — adds ``time`` (the driver's accumulated proper time, exact
+#:   bits) and a free-form ``extra`` dict (scenario name, schedule
+#:   position, anything the orchestration layer needs to resume).
+#:   Readers backfill ``time=0.0`` / ``extra={}`` for v1 files, so old
+#:   checkpoints stay loadable.
+FORMAT_VERSION = 2
 
 
 def _atomic_savez(path: Path, payload: dict) -> Path:
@@ -154,13 +163,18 @@ def write_checkpoint(
     particles: ParticleSet | None = None,
     a: float = 1.0,
     step: int = 0,
+    sim_time: float = 0.0,
+    extra: dict | None = None,
     timer: IOTimer | None = None,
 ) -> Path:
     """Write a restart checkpoint carrying the full f.
 
-    Returns the path actually written (``.npz`` appended when missing);
-    the write is atomic, so an interrupted checkpoint never corrupts the
-    restart chain.
+    ``sim_time`` is the driver's accumulated proper time (the plasma and
+    static-gravity clocks); ``extra`` is a JSON-serializable dict for
+    whatever the caller needs to resume exactly (scenario name, schedule
+    position, ...).  Returns the path actually written (``.npz`` appended
+    when missing); the write is atomic, so an interrupted checkpoint
+    never corrupts the restart chain.
     """
     path = Path(path)
     t0 = time.perf_counter()
@@ -169,6 +183,8 @@ def write_checkpoint(
         "kind": "checkpoint",
         "a": a,
         "step": step,
+        "time": sim_time,
+        "extra": extra or {},
         "nx": grid.nx,
         "nu": grid.nu,
         "box_size": grid.box_size,
@@ -194,13 +210,19 @@ def write_checkpoint(
 def read_checkpoint(
     path: str | Path, timer: IOTimer | None = None
 ) -> tuple[PhaseSpaceGrid, np.ndarray, ParticleSet | None, dict]:
-    """Read a checkpoint back into (grid, f, particles, header)."""
+    """Read a checkpoint back into (grid, f, particles, header).
+
+    Headers older than the current :data:`FORMAT_VERSION` are upgraded in
+    place: v1 files gain ``time = 0.0`` and ``extra = {}``.
+    """
     path = Path(path)
     t0 = time.perf_counter()
     with np.load(path) as data:
         header = json.loads(bytes(data["header"]).decode())
         if header.get("kind") != "checkpoint":
             raise ValueError(f"{path} is not a checkpoint")
+        header.setdefault("time", 0.0)
+        header.setdefault("extra", {})
         grid = PhaseSpaceGrid(
             nx=tuple(header["nx"]),
             nu=tuple(header["nu"]),

@@ -136,14 +136,24 @@ class SpectralBackend:
         self.n_forward = 0
         self.n_inverse = 0
 
+    def counters(self) -> dict:
+        """Just the transform counters — the per-step telemetry export.
+
+        Cheap (no workspace introspection) and flat, so the runtime's
+        JSONL stream can embed it verbatim every step.
+        """
+        return {
+            "n_forward": self.n_forward,
+            "n_inverse": self.n_inverse,
+            "n_plans": len(self._plans),
+        }
+
     def stats(self) -> dict:
         """Counters, plan-cache population and workspace-pool health."""
         return {
             "library": self.library,
             "workers": self.workers,
-            "n_forward": self.n_forward,
-            "n_inverse": self.n_inverse,
-            "n_plans": len(self._plans),
+            **self.counters(),
             "workspace": self.arena.stats(),
         }
 

@@ -1,0 +1,279 @@
+"""Declarative run configuration for the orchestration layer.
+
+A :class:`RunConfig` is everything a production run needs to be started,
+killed, and restarted without the original driver script: the scenario
+(which driver), the phase-space geometry, the step schedule, the
+checkpoint cadence and retention, the guard thresholds, and the
+wall-clock budget.  It round-trips through plain dicts, JSON, and TOML
+(read via :mod:`tomllib`; written by a small emitter here, since the
+stdlib has no TOML writer), so a run is reproducible from a single small
+text file — the discipline the paper's restart chains on Fugaku rely on.
+
+The schema is deliberately flat and typed: nested dataclasses, no
+free-form nesting except ``params`` (scenario-specific IC knobs).
+``RunConfig.validate()`` rejects anything the runner could not execute,
+at load time rather than minutes into a job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Scenarios the runner knows how to build (see runtime.scenarios).
+SCENARIOS = ("plasma", "gravitational", "hybrid")
+
+#: Guard escalation policies.
+POLICIES = ("off", "warn", "abort")
+
+
+@dataclass
+class GridConfig:
+    """Phase-space geometry (mirrors :class:`repro.core.mesh.PhaseSpaceGrid`)."""
+
+    nx: tuple[int, ...] = (32,)
+    nu: tuple[int, ...] = (32,)
+    box_size: float = 12.566370614359172  # 4*pi, the plasma default
+    v_max: float = 6.0
+    dtype: str = "float64"
+
+
+@dataclass
+class ScheduleConfig:
+    """The step schedule.
+
+    ``kind="time"`` advances in fixed proper-time steps ``dt`` (plasma,
+    static gravity); ``kind="scale_factor"`` advances through a monotone
+    scale-factor ladder from ``a_start`` to ``a_end`` (hybrid), spaced
+    uniformly in ``ln a`` (``"log"``) or in ``a`` (``"linear"``).
+    """
+
+    kind: str = "time"
+    n_steps: int = 10
+    dt: float = 0.1
+    a_start: float = 1.0 / 11.0  # z = 10, the paper's starting epoch
+    a_end: float = 1.0
+    spacing: str = "log"
+
+
+@dataclass
+class CheckpointConfig:
+    """Checkpoint cadence and retention.
+
+    Either cadence may be ``None`` (disabled — the default, because TOML
+    has no null and a missing key must mean the same thing as the
+    default; the runner always checkpoints on drain, abort, and
+    completion regardless).  When both are set a checkpoint lands when
+    *either* fires.  ``keep_last`` rotates the checkpoint directory down
+    to the K newest files after every write.
+    """
+
+    every_steps: int | None = None
+    every_seconds: float | None = None
+    keep_last: int = 3
+
+
+@dataclass
+class GuardConfig:
+    """Per-step health monitors and their escalation policies.
+
+    Each guard is ``"off"``, ``"warn"`` (log to telemetry, keep going) or
+    ``"abort"`` (write a final checkpoint, mark the run aborted, exit).
+    """
+
+    nan: str = "abort"
+    negative_f: str = "warn"
+    negative_f_tol: float = 0.0
+    conservation: str = "warn"
+    max_mass_drift: float = 1.0e-6
+    max_energy_drift: float = 0.1
+    stall: str = "off"
+    max_step_seconds: float = 60.0
+
+
+@dataclass
+class RunConfig:
+    """One production run, declaratively.
+
+    ``params`` carries scenario-specific IC knobs (perturbation
+    amplitude/mode for the kinetic scenarios; neutrino mass, seed and
+    tree toggle for the hybrid one) — see
+    :mod:`repro.runtime.scenarios` for the keys each scenario reads.
+    """
+
+    scenario: str = "plasma"
+    name: str = "run"
+    scheme: str = "slmpp5"
+    grid: GridConfig = field(default_factory=GridConfig)
+    schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    guards: GuardConfig = field(default_factory=GuardConfig)
+    params: dict = field(default_factory=dict)
+    wall_clock_budget: float | None = None
+    #: Artificial per-step pause [s] — a pacing aid for signal/stall
+    #: testing; leave at 0.0 for real runs.
+    step_delay: float = 0.0
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> "RunConfig":
+        """Raise ``ValueError`` on anything the runner cannot execute."""
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; expected one of {SCENARIOS}"
+            )
+        g, s, c = self.grid, self.schedule, self.checkpoint
+        if len(g.nx) != len(g.nu):
+            raise ValueError("grid.nx and grid.nu must have the same length")
+        if g.dtype not in ("float32", "float64"):
+            raise ValueError("grid.dtype must be 'float32' or 'float64'")
+        if s.kind not in ("time", "scale_factor"):
+            raise ValueError("schedule.kind must be 'time' or 'scale_factor'")
+        if s.n_steps < 1:
+            raise ValueError("schedule.n_steps must be >= 1")
+        if s.kind == "time" and s.dt <= 0.0:
+            raise ValueError("schedule.dt must be positive")
+        if s.kind == "scale_factor" and not 0.0 < s.a_start < s.a_end:
+            raise ValueError("need 0 < schedule.a_start < schedule.a_end")
+        if s.spacing not in ("log", "linear"):
+            raise ValueError("schedule.spacing must be 'log' or 'linear'")
+        if self.scenario == "hybrid" and s.kind != "scale_factor":
+            raise ValueError("hybrid runs need a scale_factor schedule")
+        if c.every_steps is not None and c.every_steps < 1:
+            raise ValueError("checkpoint.every_steps must be >= 1 or null")
+        if c.every_seconds is not None and c.every_seconds <= 0.0:
+            raise ValueError("checkpoint.every_seconds must be positive or null")
+        if c.keep_last < 1:
+            raise ValueError("checkpoint.keep_last must be >= 1")
+        for guard in ("nan", "negative_f", "conservation", "stall"):
+            policy = getattr(self.guards, guard)
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"guards.{guard} policy {policy!r} not in {POLICIES}"
+                )
+        if self.wall_clock_budget is not None and self.wall_clock_budget <= 0.0:
+            raise ValueError("wall_clock_budget must be positive or null")
+        if self.step_delay < 0.0:
+            raise ValueError("step_delay must be >= 0")
+        return self
+
+    # ------------------------------------------------------------------
+    # dict / file round-trips
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (tuples become lists; JSON/TOML-ready)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Build and validate a config from its plain-dict form.
+
+        Unknown keys are rejected — a typoed guard name must not
+        silently fall back to its default threshold.
+        """
+        data = dict(data)
+        kwargs: dict = {}
+        for section, section_cls in (
+            ("grid", GridConfig),
+            ("schedule", ScheduleConfig),
+            ("checkpoint", CheckpointConfig),
+            ("guards", GuardConfig),
+        ):
+            if section in data:
+                kwargs[section] = _build_section(section_cls, data.pop(section))
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        kwargs.update(data)
+        config = cls(**kwargs)
+        config.grid.nx = tuple(int(n) for n in config.grid.nx)
+        config.grid.nu = tuple(int(n) for n in config.grid.nu)
+        return config.validate()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunConfig":
+        """Load from a ``.json`` or ``.toml`` file (dispatch by suffix)."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            import tomllib
+
+            data = tomllib.loads(path.read_text())
+        elif path.suffix == ".json":
+            data = json.loads(path.read_text())
+        else:
+            raise ValueError(f"config must be .json or .toml, got {path.name!r}")
+        return cls.from_dict(data)
+
+    def dump(self, path: str | Path) -> Path:
+        """Write to a ``.json`` or ``.toml`` file (dispatch by suffix)."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            path.write_text(toml_dumps(self.as_dict()))
+        elif path.suffix == ".json":
+            path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        else:
+            raise ValueError(f"config must be .json or .toml, got {path.name!r}")
+        return path
+
+
+def _build_section(section_cls, data) -> object:
+    """Instantiate one nested config dataclass, rejecting unknown keys."""
+    if dataclasses.is_dataclass(data):
+        return data
+    known = {f.name for f in dataclasses.fields(section_cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {section_cls.__name__} keys: {sorted(unknown)}"
+        )
+    return section_cls(**data)
+
+
+# ----------------------------------------------------------------------
+# minimal TOML emitter (stdlib reads TOML but cannot write it)
+# ----------------------------------------------------------------------
+
+
+def _toml_scalar(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # TOML basic strings are JSON-compatible
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise TypeError(f"cannot emit {type(value).__name__} as TOML")
+
+
+def toml_dumps(data: dict) -> str:
+    """Emit a nested dict of scalars/lists/dicts as TOML.
+
+    ``None`` values are omitted (TOML has no null; readers treat a
+    missing key as the dataclass default, which round-trips correctly).
+    Dict values become ``[table]`` sections, nested dicts dotted tables.
+    """
+    lines: list[str] = []
+
+    def emit(table: dict, prefix: str) -> None:
+        scalars = {k: v for k, v in table.items() if not isinstance(v, dict)}
+        subtables = {k: v for k, v in table.items() if isinstance(v, dict)}
+        if prefix and (scalars or not subtables):
+            lines.append(f"[{prefix}]")
+        for key, value in scalars.items():
+            if value is None:
+                continue
+            lines.append(f"{key} = {_toml_scalar(value)}")
+        if scalars:
+            lines.append("")
+        for key, sub in subtables.items():
+            emit(sub, f"{prefix}.{key}" if prefix else key)
+
+    emit(data, "")
+    return "\n".join(lines).rstrip() + "\n"

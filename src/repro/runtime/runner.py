@@ -1,0 +1,362 @@
+"""The run orchestrator: config → stepper → guarded, resumable run.
+
+A :class:`SimulationRunner` owns one **run directory**::
+
+    <run_dir>/
+        run.json            # manifest: config + status + last step
+        telemetry.jsonl     # one record per step (runtime.telemetry)
+        checkpoints/
+            ck_00000010.npz # rotated, keep_last newest survive
+
+and turns any scenario's driver into a production run with the paper's
+operational discipline:
+
+* **checkpoint cadence** — every N steps and/or every T seconds,
+  whichever fires first, with keep-last-K rotation;
+* **auto-resume** — on start, the newest *valid* checkpoint in the run
+  directory is loaded (corrupt or truncated files are skipped with a
+  note and left for post-mortem); a fresh directory starts from the
+  scenario's deterministic initial conditions.  Resume is **bit-exact**:
+  run N steps, or run k, kill, resume N-k — identical f and particles;
+* **graceful drain** — SIGINT/SIGTERM finish the in-flight step, land a
+  checkpoint, mark the run ``interrupted`` and exit with the distinct
+  resumable status (:data:`EXIT_RESUMABLE`, BSD's EX_TEMPFAIL).  The
+  wall-clock budget and ``max_steps`` drain through the same path;
+* **guards** — per-step health checks (:mod:`repro.runtime.guards`);
+  an ``abort``-policy trip writes a final checkpoint *before* exiting
+  with :data:`EXIT_GUARD_ABORT`, so the offending state is preserved.
+
+Exit-code contract (also in ``docs/RUNTIME.md``):
+
+====================  =====  ==============================================
+name                  value  meaning
+====================  =====  ==============================================
+EXIT_COMPLETE             0  schedule finished; final checkpoint on disk
+EXIT_RESUMABLE           75  interrupted/budget/max_steps; resume continues
+EXIT_GUARD_ABORT         70  a guard tripped at abort; state checkpointed
+====================  =====  ==============================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..diagnostics.timers import ConservationLedger, StepTimer
+from ..io.snapshot import IOTimer, read_checkpoint
+from ..perf.fft import get_default_backend
+from .config import RunConfig
+from .guards import GuardSuite
+from .scenarios import Stepper, build_stepper
+from .telemetry import TelemetryWriter, peak_rss_mb
+
+__all__ = [
+    "EXIT_COMPLETE",
+    "EXIT_RESUMABLE",
+    "EXIT_GUARD_ABORT",
+    "CheckpointState",
+    "SimulationRunner",
+    "find_latest_valid_checkpoint",
+]
+
+EXIT_COMPLETE = 0
+EXIT_RESUMABLE = 75
+EXIT_GUARD_ABORT = 70
+
+MANIFEST_NAME = "run.json"
+TELEMETRY_NAME = "telemetry.jsonl"
+CHECKPOINT_DIR = "checkpoints"
+
+
+def checkpoint_name(step: int) -> str:
+    """Canonical checkpoint filename for a schedule position."""
+    return f"ck_{step:08d}.npz"
+
+
+@dataclass
+class CheckpointState:
+    """A successfully validated checkpoint, ready to restore."""
+
+    path: Path
+    grid: object
+    f: np.ndarray
+    particles: object
+    header: dict
+    skipped: list[tuple[Path, str]]
+
+
+def find_latest_valid_checkpoint(
+    ck_dir: Path, timer: IOTimer | None = None
+) -> CheckpointState | None:
+    """Newest checkpoint that actually loads, skipping broken files.
+
+    Candidates are scanned newest-first (the step number is in the
+    filename); anything that fails to read — truncated zip, bad header,
+    shape mismatch — is recorded in ``skipped`` and left on disk for
+    post-mortem rather than deleted.
+    """
+    skipped: list[tuple[Path, str]] = []
+    for path in sorted(ck_dir.glob("ck_*.npz"), reverse=True):
+        try:
+            grid, f, particles, header = read_checkpoint(path, timer=timer)
+        except Exception as exc:  # any unreadable container is skippable
+            skipped.append((path, f"{type(exc).__name__}: {exc}"))
+            continue
+        return CheckpointState(path, grid, f, particles, header, skipped)
+    if skipped:
+        return CheckpointState(Path(), None, None, None, {}, skipped)
+    return None
+
+
+class SimulationRunner:
+    """Drives one configured run inside one run directory.
+
+    Use :meth:`create` to start (or re-enter) a run directory from a
+    config, :meth:`resume` to re-enter one from its manifest alone, then
+    :meth:`run` — which may be called repeatedly; every invocation picks
+    up from the newest valid checkpoint.
+    """
+
+    def __init__(self, config: RunConfig, run_dir: str | Path) -> None:
+        self.config = config.validate()
+        self.run_dir = Path(run_dir)
+        self.timer = StepTimer()
+        self.io_timer = IOTimer()
+        self.ledger = ConservationLedger()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, config: RunConfig, run_dir: str | Path) -> "SimulationRunner":
+        """Set up (or re-enter) a run directory for a config."""
+        runner = cls(config, run_dir)
+        runner.run_dir.mkdir(parents=True, exist_ok=True)
+        (runner.run_dir / CHECKPOINT_DIR).mkdir(exist_ok=True)
+        if not (runner.run_dir / MANIFEST_NAME).exists():
+            runner._write_manifest(status="created", exit_code=None, last_step=0)
+        return runner
+
+    @classmethod
+    def resume(cls, run_dir: str | Path) -> "SimulationRunner":
+        """Re-enter an existing run directory from its manifest."""
+        run_dir = Path(run_dir)
+        manifest_path = run_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"{run_dir} has no {MANIFEST_NAME} manifest")
+        manifest = json.loads(manifest_path.read_text())
+        config = RunConfig.from_dict(manifest["config"])
+        return cls(config, run_dir)
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Advance the schedule; returns the exit-code-contract status.
+
+        ``max_steps`` caps the steps taken by *this invocation* (a
+        deterministic stand-in for the wall-clock budget; the run exits
+        resumable when the cap lands before the schedule's end).
+        """
+        config = self.config
+        ck_cfg = config.checkpoint
+        ck_dir = self.run_dir / CHECKPOINT_DIR
+        ck_dir.mkdir(parents=True, exist_ok=True)
+
+        stepper = build_stepper(config, timer=self.timer)
+        state = find_latest_valid_checkpoint(ck_dir, timer=self.io_timer)
+        if state is not None:
+            for path, reason in state.skipped:
+                print(f"runner: skipping unreadable checkpoint {path.name}: "
+                      f"{reason}", file=sys.stderr)
+            if state.f is not None:
+                if state.grid != stepper.grid:
+                    raise RuntimeError(
+                        f"checkpoint {state.path.name} was written for a "
+                        "different grid than this config builds — refusing "
+                        "to resume"
+                    )
+                stepper.restore(state.f, state.particles, state.header)
+                print(f"runner: resumed from {state.path.name} "
+                      f"(step {stepper.index}/{stepper.n_steps})",
+                      file=sys.stderr)
+
+        self.ledger = ConservationLedger()
+        self.ledger.register(**stepper.conserved())
+        guard_suite = GuardSuite(config.guards, self.ledger)
+
+        interrupts: list[str] = []
+
+        def _drain(signum, frame):  # noqa: ARG001 - signal handler shape
+            interrupts.append(signal.Signals(signum).name)
+
+        old_handlers: dict[int, object] = {}
+        try:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                old_handlers[sig] = signal.signal(sig, _drain)
+        except ValueError:
+            pass  # not the main thread; rely on budget/max_steps draining
+
+        start = time.monotonic()
+        last_ck_time = start
+        last_ck_step = stepper.index
+        prev_sections: dict[str, float] = {}
+        steps_taken = 0
+        status, exit_code, reason = "running", EXIT_COMPLETE, ""
+        self._write_manifest(status="running", exit_code=None,
+                             last_step=stepper.index)
+
+        telemetry = TelemetryWriter(self.run_dir / TELEMETRY_NAME)
+        try:
+            while stepper.index < stepper.n_steps:
+                t0 = time.monotonic()
+                with self.timer.section("step"):
+                    dt = stepper.advance()
+                wall = time.monotonic() - t0
+                steps_taken += 1
+                if config.step_delay > 0.0:
+                    time.sleep(config.step_delay)
+
+                self.ledger.update(**stepper.conserved())
+                reports = guard_suite.check_step(stepper, wall)
+                telemetry.append(self._record(stepper, dt, wall, reports,
+                                              prev_sections))
+
+                if GuardSuite.should_abort(reports):
+                    self._checkpoint(stepper, ck_dir)
+                    worst = next(r for r in reports if r.policy == "abort")
+                    status, exit_code = "aborted", EXIT_GUARD_ABORT
+                    reason = f"guard:{worst.guard}"
+                    print(f"runner: aborting on guard — {worst.message}",
+                          file=sys.stderr)
+                    break
+
+                done = stepper.index >= stepper.n_steps
+                due = not done and (
+                    (ck_cfg.every_steps is not None
+                     and stepper.index - last_ck_step >= ck_cfg.every_steps)
+                    or (ck_cfg.every_seconds is not None
+                        and time.monotonic() - last_ck_time
+                        >= ck_cfg.every_seconds)
+                )
+                if due:
+                    self._checkpoint(stepper, ck_dir)
+                    last_ck_step = stepper.index
+                    last_ck_time = time.monotonic()
+
+                if interrupts:
+                    self._checkpoint(stepper, ck_dir)
+                    status, exit_code = "interrupted", EXIT_RESUMABLE
+                    reason = f"signal:{interrupts[0]}"
+                    print(f"runner: drained on {interrupts[0]} at step "
+                          f"{stepper.index}/{stepper.n_steps} — resumable",
+                          file=sys.stderr)
+                    break
+                if (config.wall_clock_budget is not None
+                        and time.monotonic() - start >= config.wall_clock_budget):
+                    self._checkpoint(stepper, ck_dir)
+                    status, exit_code = "interrupted", EXIT_RESUMABLE
+                    reason = "wall_clock_budget"
+                    print(f"runner: wall-clock budget exhausted at step "
+                          f"{stepper.index}/{stepper.n_steps} — resumable",
+                          file=sys.stderr)
+                    break
+                if max_steps is not None and steps_taken >= max_steps:
+                    if stepper.index < stepper.n_steps:
+                        self._checkpoint(stepper, ck_dir)
+                        status, exit_code = "interrupted", EXIT_RESUMABLE
+                        reason = "max_steps"
+                    break
+            if status == "running":  # the while condition ended the loop
+                self._checkpoint(stepper, ck_dir)
+                status, exit_code, reason = "complete", EXIT_COMPLETE, "schedule"
+                print(f"runner: complete — {stepper.index} steps "
+                      f"in {self.run_dir}")
+        finally:
+            for sig, handler in old_handlers.items():
+                signal.signal(sig, handler)
+            telemetry.close()
+            self._write_manifest(status=status, exit_code=exit_code,
+                                 last_step=stepper.index, reason=reason)
+        return exit_code
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+
+    def _record(self, stepper: Stepper, dt: float, wall: float,
+                reports, prev_sections: dict[str, float]) -> dict:
+        """Build one telemetry record (and roll the section deltas)."""
+        totals = {name: s.total for name, s in self.timer.sections.items()}
+        deltas = {
+            name: totals[name] - prev_sections.get(name, 0.0)
+            for name in totals
+            if totals[name] - prev_sections.get(name, 0.0) > 0.0
+        }
+        prev_sections.clear()
+        prev_sections.update(totals)
+        return {
+            "step": stepper.index,
+            "coord": stepper.coordinate(),
+            "dt": dt,
+            "wall_s": wall,
+            "conserved": {k: self.ledger.current(k) for k in self.ledger.initial},
+            "drifts": self.ledger.as_dict(),
+            "sections": deltas,
+            "fft": get_default_backend().counters(),
+            "io": {
+                "bytes_written": self.io_timer.bytes_written,
+                "bytes_read": self.io_timer.bytes_read,
+                "write_seconds": self.io_timer.write_seconds,
+                "read_seconds": self.io_timer.read_seconds,
+            },
+            "rss_mb": peak_rss_mb(),
+            "guards": [r.as_dict() for r in reports],
+        }
+
+    def _checkpoint(self, stepper: Stepper, ck_dir: Path) -> Path:
+        """Write a checkpoint at the stepper's position, then rotate."""
+        path = stepper.save(ck_dir / checkpoint_name(stepper.index),
+                            timer=self.io_timer)
+        self._rotate(ck_dir)
+        return path
+
+    def _rotate(self, ck_dir: Path) -> None:
+        """Keep only the ``keep_last`` newest checkpoints."""
+        keep = self.config.checkpoint.keep_last
+        files = sorted(ck_dir.glob("ck_*.npz"))
+        for stale in files[:-keep]:
+            stale.unlink(missing_ok=True)
+
+    def _write_manifest(self, status: str, exit_code: int | None,
+                        last_step: int, reason: str = "") -> None:
+        """Atomically rewrite ``run.json`` (tmp + rename, like checkpoints)."""
+        manifest = {
+            "format": 1,
+            "name": self.config.name,
+            "scenario": self.config.scenario,
+            "status": status,
+            "exit_code": exit_code,
+            "reason": reason,
+            "last_step": last_step,
+            "n_steps": self.config.schedule.n_steps,
+            "updated": time.time(),
+            "config": self.config.as_dict(),
+        }
+        path = self.run_dir / MANIFEST_NAME
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def manifest(self) -> dict:
+        """The current manifest contents."""
+        return json.loads((self.run_dir / MANIFEST_NAME).read_text())

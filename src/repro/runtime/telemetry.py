@@ -1,0 +1,164 @@
+"""Append-only JSONL telemetry for production runs.
+
+One JSON object per line, one line per step, flushed as written — the
+stream survives a SIGKILL mid-run with at most the current line lost,
+and ``tail -f telemetry.jsonl`` is the live dashboard.  The paper's
+monitoring discipline (wall-clock per section, conserved quantities,
+I/O volume along the restart chain) maps onto the record fields below.
+
+Every record carries exactly the keys in :data:`TELEMETRY_FIELDS` (the
+schema documented in ``docs/RUNTIME.md``; the tests assert the match):
+
+``step``
+    1-based step number within the run's schedule.
+``coord``
+    The driver's clock: ``{"t": ...}`` (plasma/static) or ``{"a": ...}``.
+``dt``
+    Step size in the driver's clock (da for scale-factor schedules).
+``wall_s``
+    Wall-clock seconds this step took (driver work only).
+``conserved``
+    Current values of the tracked conserved quantities.
+``drifts``
+    Worst drift per quantity so far (`ConservationLedger.as_dict`).
+``sections``
+    Per-step wall-clock deltas of the named `StepTimer` sections.
+``fft``
+    Cumulative `SpectralBackend` transform counters.
+``io``
+    Cumulative checkpoint/snapshot bytes and seconds (`IOTimer`).
+``rss_mb``
+    Peak resident set size of the process so far [MB].
+``guards``
+    Guard reports fired this step (empty list when healthy).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+#: The per-step record schema, in canonical order.
+TELEMETRY_FIELDS = (
+    "step",
+    "coord",
+    "dt",
+    "wall_s",
+    "conserved",
+    "drifts",
+    "sections",
+    "fft",
+    "io",
+    "rss_mb",
+    "guards",
+)
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process [MB] (0.0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    scale = 1.0 / 1024.0 if sys.platform != "darwin" else 1.0 / (1024.0 * 1024.0)
+    return float(peak) * scale
+
+
+class _JsonSanitizer(json.JSONEncoder):
+    """Make numpy scalars and non-finite floats JSON-safe."""
+
+    def default(self, o):
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        return super().default(o)
+
+
+class TelemetryWriter:
+    """Append-only JSONL writer with per-record flush."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Write one record (keys must match :data:`TELEMETRY_FIELDS`)."""
+        missing = set(TELEMETRY_FIELDS) - set(record)
+        extra = set(record) - set(TELEMETRY_FIELDS)
+        if missing or extra:
+            raise ValueError(
+                f"telemetry record schema mismatch: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        ordered = {key: record[key] for key in TELEMETRY_FIELDS}
+        self._fh.write(json.dumps(ordered, cls=_JsonSanitizer) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the stream (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """Load every complete record of a telemetry stream.
+
+    A trailing partial line (the process died mid-write) is skipped
+    rather than raised on — exactly the case the format exists for.
+    """
+    records: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def summarize(path: str | Path) -> dict:
+    """Reduce a telemetry stream to the run-level numbers that matter.
+
+    Returns steps covered, total/median wall-clock per step, the final
+    coordinate, worst drifts, cumulative I/O bytes, and cumulative FFT
+    transform counts — the shape of the paper's per-run reporting
+    (end-to-end time *including I/O*).
+    """
+    records = read_telemetry(path)
+    if not records:
+        return {"steps": 0}
+    walls = [r["wall_s"] for r in records]
+    worst: dict[str, float] = {}
+    for r in records:
+        for key, row in r["drifts"].items():
+            drift = row["drift"] if isinstance(row, dict) else row
+            worst[key] = max(worst.get(key, 0.0), drift)
+    last = records[-1]
+    return {
+        "steps": len(records),
+        "first_step": records[0]["step"],
+        "last_step": last["step"],
+        "last_coord": last["coord"],
+        "wall_s_total": float(sum(walls)),
+        "wall_s_median": float(np.median(walls)),
+        "max_drifts": worst,
+        "io": last["io"],
+        "fft": last["fft"],
+        "rss_mb": last["rss_mb"],
+        "guard_events": sum(len(r["guards"]) for r in records),
+    }

@@ -162,6 +162,49 @@ class TestCheckpoint:
         with pytest.raises(ValueError):
             read_checkpoint(path)
 
+    def test_v2_header_roundtrips_time_and_extra(self, tmp_path, grid, f):
+        path = write_checkpoint(
+            tmp_path / "ck.npz", grid, f, step=7, sim_time=1.25,
+            extra={"scenario": "plasma", "schedule_index": 7},
+        )
+        _, _, _, header = read_checkpoint(path)
+        assert header["version"] == 2
+        assert header["time"] == 1.25
+        assert header["extra"] == {"scenario": "plasma", "schedule_index": 7}
+
+    def test_v1_header_reads_with_backfilled_fields(self, tmp_path, grid, f):
+        """A pre-v2 checkpoint (no ``time``/``extra``) must still load,
+        with the new fields backfilled to their v1-era meanings."""
+        import json
+
+        from repro.io.snapshot import _atomic_savez
+
+        header = {
+            "version": 1,
+            "kind": "checkpoint",
+            "a": 0.5,
+            "step": 3,
+            "nx": grid.nx,
+            "nu": grid.nu,
+            "box_size": grid.box_size,
+            "v_max": grid.v_max,
+            "dtype": grid.dtype.name,
+            "has_particles": False,
+        }
+        payload = {
+            "header": np.frombuffer(
+                json.dumps(header).encode(), dtype=np.uint8
+            ),
+            "f": f,
+        }
+        path = _atomic_savez(tmp_path / "old.npz", payload)
+        grid2, f2, particles, loaded = read_checkpoint(path)
+        assert grid2 == grid
+        assert np.array_equal(f2, f)
+        assert particles is None
+        assert loaded["time"] == 0.0
+        assert loaded["extra"] == {}
+
 
 class TestStepTimer:
     def test_sections_and_medians(self):

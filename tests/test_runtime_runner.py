@@ -1,0 +1,282 @@
+"""SimulationRunner: run directories, resume semantics, guards, rotation.
+
+The headline assertions live here: **bitwise resume** (run N steps vs
+run k, interrupt, resume N-k — identical f and particles) for the plasma
+and hybrid drivers, keep-last-K checkpoint rotation, and auto-resume
+skipping a deliberately truncated checkpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.snapshot import read_checkpoint
+from repro.runtime import (
+    EXIT_COMPLETE,
+    EXIT_GUARD_ABORT,
+    EXIT_RESUMABLE,
+    RunConfig,
+    SimulationRunner,
+    TELEMETRY_FIELDS,
+    read_telemetry,
+    summarize,
+)
+from repro.runtime.config import (
+    CheckpointConfig,
+    GridConfig,
+    GuardConfig,
+    ScheduleConfig,
+)
+from repro.runtime.runner import CHECKPOINT_DIR, TELEMETRY_NAME, checkpoint_name
+
+
+def plasma_config(n_steps=8, **overrides) -> RunConfig:
+    base = dict(
+        scenario="plasma",
+        name="t-plasma",
+        grid=GridConfig(nx=(24,), nu=(24,), box_size=4 * np.pi, v_max=6.0),
+        schedule=ScheduleConfig(kind="time", dt=0.1, n_steps=n_steps),
+        checkpoint=CheckpointConfig(every_steps=None, keep_last=3),
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def hybrid_config(n_steps=4) -> RunConfig:
+    return RunConfig(
+        scenario="hybrid",
+        name="t-hybrid",
+        scheme="slp3",  # order-3 stencil fits the tiny test grid
+        grid=GridConfig(nx=(4, 4, 4), nu=(4, 4, 4), box_size=200.0,
+                        v_max=1.0, dtype="float32"),
+        schedule=ScheduleConfig(kind="scale_factor", a_start=1.0 / 11.0,
+                                a_end=1.0, n_steps=n_steps),
+        checkpoint=CheckpointConfig(every_steps=None, keep_last=3),
+        params={"m_nu": 0.4, "seed": 7},
+    )
+
+
+def gravitational_config(n_steps=6) -> RunConfig:
+    return RunConfig(
+        scenario="gravitational",
+        name="t-grav",
+        grid=GridConfig(nx=(16,), nu=(16,), box_size=10.0, v_max=4.0),
+        schedule=ScheduleConfig(kind="time", dt=0.05, n_steps=n_steps),
+        params={"g_newton": 0.05, "amplitude": 0.01, "sigma_v": 1.0},
+    )
+
+
+def final_checkpoint(run_dir, n_steps):
+    return read_checkpoint(run_dir / CHECKPOINT_DIR / checkpoint_name(n_steps))
+
+
+class TestCompleteRun:
+    def test_plasma_completes_with_full_telemetry(self, tmp_path):
+        cfg = plasma_config(n_steps=6)
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_COMPLETE
+
+        manifest = runner.manifest()
+        assert manifest["status"] == "complete"
+        assert manifest["last_step"] == 6
+        assert manifest["config"]["scenario"] == "plasma"
+
+        records = read_telemetry(tmp_path / "run" / TELEMETRY_NAME)
+        assert [r["step"] for r in records] == [1, 2, 3, 4, 5, 6]
+        for record in records:
+            assert tuple(record) == TELEMETRY_FIELDS
+        # the stream carries real measurements, not placeholders
+        assert records[-1]["coord"]["t"] == pytest.approx(0.6)
+        assert records[-1]["fft"]["n_forward"] > 0
+        assert records[-1]["rss_mb"] > 0
+        assert records[-1]["drifts"]["mass"]["drift"] < 1e-8
+
+        summary = summarize(tmp_path / "run" / TELEMETRY_NAME)
+        assert summary["steps"] == 6 and summary["guard_events"] == 0
+
+    def test_gravitational_completes(self, tmp_path):
+        runner = SimulationRunner.create(gravitational_config(), tmp_path / "g")
+        assert runner.run() == EXIT_COMPLETE
+        _, f, _, header = final_checkpoint(tmp_path / "g", 6)
+        assert np.isfinite(f).all()
+        assert header["time"] == pytest.approx(0.3)
+
+    def test_final_checkpoint_always_written(self, tmp_path):
+        cfg = plasma_config(n_steps=3)  # cadence disabled entirely
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        runner.run()
+        _, f, particles, header = final_checkpoint(tmp_path / "run", 3)
+        assert header["step"] == 3
+        assert header["extra"]["scenario"] == "plasma"
+        assert particles is None
+
+
+class TestCadenceAndRotation:
+    def test_rotation_keeps_exactly_k_newest(self, tmp_path):
+        cfg = plasma_config(
+            n_steps=10,
+            checkpoint=CheckpointConfig(every_steps=2, keep_last=3),
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_COMPLETE
+        names = sorted(p.name for p in (tmp_path / "run" / CHECKPOINT_DIR).iterdir())
+        # steps 2,4,6,8 at cadence + 10 final; rotated down to the 3 newest
+        assert names == [checkpoint_name(6), checkpoint_name(8),
+                         checkpoint_name(10)]
+
+    def test_every_seconds_cadence(self, tmp_path):
+        cfg = plasma_config(
+            n_steps=4,
+            checkpoint=CheckpointConfig(every_seconds=0.0001, keep_last=10),
+            step_delay=0.001,  # ensure the clock cadence fires every step
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_COMPLETE
+        names = {p.name for p in (tmp_path / "run" / CHECKPOINT_DIR).iterdir()}
+        assert checkpoint_name(1) in names and checkpoint_name(4) in names
+
+
+class TestBitwiseResume:
+    """Run N vs run k / kill / resume N-k — identical state, exact bits."""
+
+    def test_plasma(self, tmp_path):
+        n, k = 8, 3
+        full = SimulationRunner.create(plasma_config(n), tmp_path / "full")
+        assert full.run() == EXIT_COMPLETE
+
+        part = SimulationRunner.create(plasma_config(n), tmp_path / "part")
+        assert part.run(max_steps=k) == EXIT_RESUMABLE
+        assert part.manifest()["status"] == "interrupted"
+        assert part.manifest()["reason"] == "max_steps"
+
+        resumed = SimulationRunner.resume(tmp_path / "part")
+        assert resumed.run() == EXIT_COMPLETE
+
+        _, f_full, _, h_full = final_checkpoint(tmp_path / "full", n)
+        _, f_part, _, h_part = final_checkpoint(tmp_path / "part", n)
+        assert np.array_equal(f_full, f_part)
+        assert h_full["time"] == h_part["time"]  # the v2 header field
+
+    def test_hybrid(self, tmp_path):
+        n, k = 4, 2
+        full = SimulationRunner.create(hybrid_config(n), tmp_path / "full")
+        assert full.run() == EXIT_COMPLETE
+
+        part = SimulationRunner.create(hybrid_config(n), tmp_path / "part")
+        assert part.run(max_steps=k) == EXIT_RESUMABLE
+        resumed = SimulationRunner.resume(tmp_path / "part")
+        assert resumed.run() == EXIT_COMPLETE
+
+        _, f_full, p_full, h_full = final_checkpoint(tmp_path / "full", n)
+        _, f_part, p_part, h_part = final_checkpoint(tmp_path / "part", n)
+        assert np.array_equal(f_full, f_part)
+        assert np.array_equal(p_full.positions, p_part.positions)
+        assert np.array_equal(p_full.velocities, p_part.velocities)
+        assert h_full["a"] == h_part["a"]
+
+    def test_resume_telemetry_continues_stream(self, tmp_path):
+        cfg = plasma_config(6)
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        runner.run(max_steps=2)
+        SimulationRunner.resume(tmp_path / "run").run()
+        steps = [r["step"] for r in read_telemetry(tmp_path / "run" / TELEMETRY_NAME)]
+        assert steps == [1, 2, 3, 4, 5, 6]
+
+
+class TestResumeRobustness:
+    def test_truncated_newest_checkpoint_is_skipped(self, tmp_path):
+        """Auto-resume must fall back to the older valid checkpoint —
+        and still reproduce the uninterrupted run exactly (it simply
+        re-runs the steps the truncated file claimed to cover)."""
+        n = 8
+        full = SimulationRunner.create(plasma_config(n), tmp_path / "full")
+        assert full.run() == EXIT_COMPLETE
+
+        cfg = plasma_config(n, checkpoint=CheckpointConfig(every_steps=2,
+                                                           keep_last=10))
+        part = SimulationRunner.create(cfg, tmp_path / "part")
+        assert part.run(max_steps=5) == EXIT_RESUMABLE
+        ck_dir = tmp_path / "part" / CHECKPOINT_DIR
+        newest = sorted(ck_dir.glob("ck_*.npz"))[-1]
+        assert newest.name == checkpoint_name(5)
+        newest.write_bytes(newest.read_bytes()[: newest.stat().st_size // 2])
+
+        resumed = SimulationRunner.resume(tmp_path / "part")
+        assert resumed.run() == EXIT_COMPLETE
+
+        _, f_full, _, _ = final_checkpoint(tmp_path / "full", n)
+        _, f_part, _, _ = final_checkpoint(tmp_path / "part", n)
+        assert np.array_equal(f_full, f_part)
+
+    def test_all_checkpoints_corrupt_starts_fresh(self, tmp_path):
+        cfg = plasma_config(4, checkpoint=CheckpointConfig(every_steps=1,
+                                                           keep_last=10))
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        runner.run(max_steps=2)
+        for ck in (tmp_path / "run" / CHECKPOINT_DIR).glob("ck_*.npz"):
+            ck.write_bytes(b"not a zip")
+        resumed = SimulationRunner.resume(tmp_path / "run")
+        assert resumed.run() == EXIT_COMPLETE  # restarted from the ICs
+        assert resumed.manifest()["last_step"] == 4
+
+    def test_resume_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="run.json"):
+            SimulationRunner.resume(tmp_path / "nowhere")
+
+    def test_grid_mismatch_refused(self, tmp_path):
+        runner = SimulationRunner.create(plasma_config(4), tmp_path / "run")
+        runner.run(max_steps=2)
+        manifest = runner.manifest()
+        other = plasma_config(4, grid=GridConfig(nx=(32,), nu=(32,),
+                                                 box_size=4 * np.pi, v_max=6.0))
+        clash = SimulationRunner(other, tmp_path / "run")
+        with pytest.raises(RuntimeError, match="different grid"):
+            clash.run()
+        del manifest
+
+
+class TestGuardsInTheLoop:
+    def test_abort_guard_lands_final_checkpoint(self, tmp_path):
+        """An impossible energy threshold trips on step 1 at abort
+        policy; the runner must checkpoint *before* exiting."""
+        cfg = plasma_config(
+            6,
+            guards=GuardConfig(conservation="abort", max_energy_drift=0.0,
+                               max_mass_drift=1e6),
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_GUARD_ABORT
+
+        manifest = runner.manifest()
+        assert manifest["status"] == "aborted"
+        assert manifest["reason"] == "guard:conservation"
+        _, f, _, header = final_checkpoint(tmp_path / "run", manifest["last_step"])
+        assert np.isfinite(f).all()
+        records = read_telemetry(tmp_path / "run" / TELEMETRY_NAME)
+        assert records[-1]["guards"][0]["guard"] == "conservation"
+        assert records[-1]["guards"][0]["policy"] == "abort"
+        del header
+
+    def test_warn_guard_keeps_running(self, tmp_path):
+        cfg = plasma_config(
+            4,
+            guards=GuardConfig(conservation="warn", max_energy_drift=0.0,
+                               max_mass_drift=1e6),
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_COMPLETE
+        records = read_telemetry(tmp_path / "run" / TELEMETRY_NAME)
+        assert all(r["guards"] for r in records)  # warned every step
+        assert summarize(tmp_path / "run" / TELEMETRY_NAME)["guard_events"] >= 4
+
+    def test_wall_clock_budget_drains_resumable(self, tmp_path):
+        cfg = plasma_config(50, wall_clock_budget=0.05, step_delay=0.02)
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_RESUMABLE
+        manifest = runner.manifest()
+        assert manifest["status"] == "interrupted"
+        assert manifest["reason"] == "wall_clock_budget"
+        assert 0 < manifest["last_step"] < 50
+        # and the drain checkpoint is valid
+        final_checkpoint(tmp_path / "run", manifest["last_step"])
