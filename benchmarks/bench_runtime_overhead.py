@@ -40,6 +40,10 @@ DT = 0.1
 #: Acceptance ceiling on the orchestration tax (cadenced checkpoints
 #: excluded — those buy restartability and are priced separately).
 MAX_OVERHEAD_FRACTION = 0.15
+#: Acceptance ceiling on the fault-tolerance tax: per-array checkpoint
+#: checksums + worker supervision + rollback bookkeeping, measured on a
+#: cadenced run against the same run with the machinery disabled.
+MAX_FAULT_TAX_FRACTION = 0.10
 
 
 def _bare_loop() -> float:
@@ -79,6 +83,35 @@ def _orchestrated(every_steps: int | None) -> float:
     return elapsed
 
 
+def _fault_tolerance_tax() -> tuple[float, float, float]:
+    """Cadenced-run seconds with the fault-tolerance layer on vs off.
+
+    "On" is the shipped default: CRC32 checksums on every checkpoint
+    write, supervised-engine plumbing, the recovery manager in the loop.
+    "Off" flips the one global that gates the per-byte work
+    (``repro.io.snapshot.CHECKSUMS_ENABLED``, the ``REPRO_SNAPSHOT_CRC=0``
+    escape hatch) — the rest of the layer is priced in whichever side of
+    the comparison it lands on, which is the honest accounting: it runs
+    in production too.
+    """
+    from repro.io import snapshot
+
+    saved = snapshot.CHECKSUMS_ENABLED
+    on_times, off_times = [], []
+    try:
+        _orchestrated(every_steps=5)  # warm-up (plans, allocator, page cache)
+        # interleave the reps so machine drift hits both sides equally
+        for _ in range(3):
+            snapshot.CHECKSUMS_ENABLED = True
+            on_times.append(_orchestrated(every_steps=5))
+            snapshot.CHECKSUMS_ENABLED = False
+            off_times.append(_orchestrated(every_steps=5))
+    finally:
+        snapshot.CHECKSUMS_ENABLED = saved
+    with_crc, without_crc = min(on_times), min(off_times)
+    return with_crc, without_crc, with_crc / without_crc - 1.0
+
+
 def report() -> tuple[str, float]:
     bare = min(_bare_loop() for _ in range(2))
     harness = min(_orchestrated(every_steps=None) for _ in range(2))
@@ -111,6 +144,22 @@ def test_runtime_overhead_small():
     payload = {"tax": tax, "workload": f"{NX}x{NU}x{N_STEPS}"}
     (RESULTS_DIR / "BENCH_runtime_overhead.json").write_text(
         json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def test_fault_tolerance_tax_small():
+    with_crc, without_crc, tax = _fault_tolerance_tax()
+    text = (
+        f"cadenced run, checksums on : {with_crc:8.3f} s\n"
+        f"cadenced run, checksums off: {without_crc:8.3f} s\n"
+        f"fault-tolerance tax        : {tax:+8.2%}  (ceiling "
+        f"{MAX_FAULT_TAX_FRACTION:.0%})"
+    )
+    print("\n===== fault_tolerance_tax =====\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fault_tolerance_tax.txt").write_text(text + "\n")
+    assert tax < MAX_FAULT_TAX_FRACTION, (
+        f"fault-tolerance tax {tax:.1%} exceeds {MAX_FAULT_TAX_FRACTION:.0%}"
     )
 
 

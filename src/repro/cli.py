@@ -8,12 +8,15 @@ without writing a script:
 * ``hybrid``   — run a mini cosmological hybrid simulation;
 * ``run``      — start a production run from a config file;
 * ``resume``   — continue an interrupted run from its run directory;
+* ``verify``   — check the integrity of a run's checkpoints;
 * ``scaling``  — print Tables 2-4 + the time-to-solution report;
 * ``memory``   — per-node memory audit of the Table 2 runs;
 * ``schemes``  — list the advection schemes and their properties.
 
 ``run``/``resume`` return the runtime subsystem's exit-code contract
-(0 complete, 75 resumable, 70 guard abort — see ``docs/RUNTIME.md``).
+(0 complete, 75 resumable, 70 guard abort — see ``docs/RUNTIME.md``);
+both accept ``--faults`` (inline JSON or a file path) to drive a chaos
+drill against a real run.
 """
 
 from __future__ import annotations
@@ -88,20 +91,56 @@ def cmd_hybrid(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Start (or re-enter) a production run from a config file."""
-    from repro.runtime import RunConfig, SimulationRunner
+    from repro.runtime import FaultPlan, RunConfig, SimulationRunner
 
     config = RunConfig.load(args.config)
     run_dir = args.run_dir if args.run_dir else f"{config.name}.run"
     runner = SimulationRunner.create(config, run_dir)
-    return runner.run(max_steps=args.max_steps)
+    return runner.run(max_steps=args.max_steps,
+                      fault_plan=FaultPlan.from_spec(args.faults))
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
     """Continue an interrupted run from its run directory."""
-    from repro.runtime import SimulationRunner
+    from repro.runtime import FaultPlan, SimulationRunner
 
     runner = SimulationRunner.resume(args.run_dir)
-    return runner.run(max_steps=args.max_steps)
+    return runner.run(max_steps=args.max_steps,
+                      fault_plan=FaultPlan.from_spec(args.faults))
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Verify every checkpoint of a run directory against its checksums.
+
+    Exits 0 when all checkpoints load and verify, 1 when any fails;
+    ``--quarantine`` additionally renames failing files to ``*.corrupt``
+    so the restart chain skips them without re-reading.
+    """
+    from pathlib import Path
+
+    from repro.io.snapshot import quarantine, read_checkpoint
+
+    ck_dir = Path(args.run_dir) / "checkpoints"
+    if not ck_dir.is_dir():
+        ck_dir = Path(args.run_dir)  # allow pointing at checkpoints/ itself
+    paths = sorted(ck_dir.glob("ck_*.npz"))
+    if not paths:
+        print(f"verify: no checkpoints under {ck_dir}")
+        return 1
+    bad = 0
+    for path in paths:
+        try:
+            _, _, _, header = read_checkpoint(path)
+        except Exception as exc:
+            bad += 1
+            note = f"{type(exc).__name__}: {exc}"
+            if args.quarantine:
+                note += f" -> {quarantine(path).name}"
+            print(f"FAIL  {path.name}  {note}")
+            continue
+        print(f"ok    {path.name}  step={header['step']}")
+    print(f"verify: {len(paths) - bad}/{len(paths)} checkpoints valid")
+    return 1 if bad else 0
 
 
 def cmd_scaling(_: argparse.Namespace) -> int:
@@ -182,11 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run directory (default: <config name>.run)")
     p.add_argument("--max-steps", type=int, default=None,
                    help="cap steps this invocation (exits resumable)")
+    p.add_argument("--faults", default=None,
+                   help="chaos drill: fault-plan JSON (inline or a path)")
 
     p = sub.add_parser("resume", help="continue an interrupted run")
     p.add_argument("run_dir", help="run directory holding run.json")
     p.add_argument("--max-steps", type=int, default=None,
                    help="cap steps this invocation (exits resumable)")
+    p.add_argument("--faults", default=None,
+                   help="chaos drill: fault-plan JSON (inline or a path)")
+
+    p = sub.add_parser("verify", help="checkpoint integrity audit")
+    p.add_argument("run_dir", help="run directory (or its checkpoints/)")
+    p.add_argument("--quarantine", action="store_true",
+                   help="rename failing checkpoints to *.corrupt")
 
     sub.add_parser("scaling", help="Tables 2-4 + time-to-solution")
     sub.add_parser("memory", help="per-node memory audit")
@@ -201,6 +249,7 @@ _COMMANDS = {
     "hybrid": cmd_hybrid,
     "run": cmd_run,
     "resume": cmd_resume,
+    "verify": cmd_verify,
     "scaling": cmd_scaling,
     "memory": cmd_memory,
     "schemes": cmd_schemes,

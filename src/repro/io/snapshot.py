@@ -18,6 +18,13 @@ survives intact until the replace).  Writers also return the path that
 actually exists on disk: ``np.savez`` silently appends ``.npz`` to
 suffix-less names, which used to make the returned path (and
 ``path.stat()`` with a timer attached) point at a nonexistent file.
+
+Integrity: version-3 headers carry a per-array CRC32 checksum computed
+over the exact bytes stored, and readers verify every array against it
+(:class:`SnapshotIntegrityError` on mismatch) — so a bit-flip on disk is
+*detected* rather than silently resumed from.  Corrupt containers can be
+moved aside with :func:`quarantine` (rename to ``*.corrupt``), which
+takes them out of the restart chain while keeping them for post-mortem.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,7 +52,78 @@ from ..nbody.particles import ParticleSet
 #:   position, anything the orchestration layer needs to resume).
 #:   Readers backfill ``time=0.0`` / ``extra={}`` for v1 files, so old
 #:   checkpoints stay loadable.
-FORMAT_VERSION = 2
+#: * v3 — adds ``checksums``: a per-array CRC32 (of the stored bytes)
+#:   that readers verify on load.  v2/v1 files (no ``checksums`` key)
+#:   are still accepted and simply skip the verification.
+FORMAT_VERSION = 3
+
+#: Global write/verify switch: ``REPRO_SNAPSHOT_CRC=0`` disables both
+#: computing checksums on write and verifying them on read (an escape
+#: hatch for benchmarking the tax and for pathological I/O systems).
+CHECKSUMS_ENABLED = os.environ.get("REPRO_SNAPSHOT_CRC", "1") != "0"
+
+
+class SnapshotIntegrityError(ValueError):
+    """A stored array's bytes do not match its header checksum."""
+
+
+def _crc32(arr: np.ndarray) -> int:
+    """CRC32 of an array's C-order bytes (what lands in the container)."""
+    return zlib.crc32(np.ascontiguousarray(arr)) & 0xFFFFFFFF
+
+
+def _array_checksums(payload: dict) -> dict[str, int]:
+    """Per-array CRC32 map over everything but the header itself."""
+    return {
+        name: _crc32(arr)
+        for name, arr in payload.items()
+        if name != "header"
+    }
+
+
+def _verify_checksums(path: Path, header: dict, arrays: dict) -> None:
+    """Check loaded arrays against the v3 header checksums.
+
+    Older headers (no ``checksums`` key) verify trivially.  ``arrays``
+    holds the already-deserialized arrays — the exact bytes a resume
+    would adopt — so verification costs one CRC pass, not a second read.
+    """
+    if not CHECKSUMS_ENABLED:
+        return
+    checksums = header.get("checksums")
+    if not checksums:
+        return
+    for name, expected in checksums.items():
+        if name not in arrays:
+            raise SnapshotIntegrityError(
+                f"{path}: array {name!r} listed in header checksums is missing"
+            )
+        actual = _crc32(arrays[name])
+        if actual != int(expected):
+            raise SnapshotIntegrityError(
+                f"{path}: array {name!r} fails its checksum "
+                f"(stored crc32={int(expected):#010x}, read {actual:#010x}) — "
+                "the file was corrupted after it was written"
+            )
+
+
+#: Suffix appended to quarantined (checksum- or format-corrupt) files.
+QUARANTINE_SUFFIX = ".corrupt"
+
+
+def quarantine(path: str | Path) -> Path:
+    """Move a corrupt container out of the restart chain.
+
+    Renames ``ck_00000010.npz`` to ``ck_00000010.npz.corrupt`` — the
+    checkpoint globs no longer match it, so resume scans skip it without
+    re-reading, while the bytes stay on disk for post-mortem.  Returns
+    the new path.  Idempotent-ish: an existing quarantine target is
+    overwritten (same corrupt file, re-detected).
+    """
+    path = Path(path)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    os.replace(path, target)
+    return target
 
 
 def _atomic_savez(path: Path, payload: dict) -> Path:
@@ -110,6 +189,15 @@ def write_snapshot(
     rho = moments.density(f, grid)
     vel = moments.mean_velocity(f, grid, rho)
     sigma = moments.velocity_dispersion(f, grid, rho)
+    payload = {
+        "density": rho.astype(np.float32),
+        "velocity": vel.astype(np.float32),
+        "dispersion": sigma.astype(np.float32),
+    }
+    if particles is not None:
+        payload["positions"] = particles.positions
+        payload["velocities"] = particles.velocities
+        payload["masses"] = particles.masses
     header = {
         "version": FORMAT_VERSION,
         "kind": "snapshot",
@@ -121,16 +209,11 @@ def write_snapshot(
         "has_particles": particles is not None,
         "extra": extra or {},
     }
-    payload = {
-        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        "density": rho.astype(np.float32),
-        "velocity": vel.astype(np.float32),
-        "dispersion": sigma.astype(np.float32),
-    }
-    if particles is not None:
-        payload["positions"] = particles.positions
-        payload["velocities"] = particles.velocities
-        payload["masses"] = particles.masses
+    if CHECKSUMS_ENABLED:
+        header["checksums"] = _array_checksums(payload)
+    payload["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
     path = _atomic_savez(path, payload)
     elapsed = time.perf_counter() - t0
     if timer is not None:
@@ -150,6 +233,7 @@ def read_snapshot(path: str | Path, timer: IOTimer | None = None) -> dict:
         for key in data.files:
             if key != "header":
                 out[key] = data[key]
+        _verify_checksums(path, header, out)
     elapsed = time.perf_counter() - t0
     if timer is not None:
         timer.record_read(elapsed, path.stat().st_size)
@@ -178,6 +262,11 @@ def write_checkpoint(
     """
     path = Path(path)
     t0 = time.perf_counter()
+    payload = {"f": f}
+    if particles is not None:
+        payload["positions"] = particles.positions
+        payload["velocities"] = particles.velocities
+        payload["masses"] = particles.masses
     header = {
         "version": FORMAT_VERSION,
         "kind": "checkpoint",
@@ -192,14 +281,11 @@ def write_checkpoint(
         "dtype": grid.dtype.name,
         "has_particles": particles is not None,
     }
-    payload = {
-        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        "f": f,
-    }
-    if particles is not None:
-        payload["positions"] = particles.positions
-        payload["velocities"] = particles.velocities
-        payload["masses"] = particles.masses
+    if CHECKSUMS_ENABLED:
+        header["checksums"] = _array_checksums(payload)
+    payload["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
     path = _atomic_savez(path, payload)
     elapsed = time.perf_counter() - t0
     if timer is not None:
@@ -213,7 +299,10 @@ def read_checkpoint(
     """Read a checkpoint back into (grid, f, particles, header).
 
     Headers older than the current :data:`FORMAT_VERSION` are upgraded in
-    place: v1 files gain ``time = 0.0`` and ``extra = {}``.
+    place: v1 files gain ``time = 0.0`` and ``extra = {}``; v2 files
+    simply have no ``checksums`` to verify.  v3 arrays are checked
+    against their stored CRC32 and raise :class:`SnapshotIntegrityError`
+    on mismatch — a silent bit-flip must not become a resumed state.
     """
     path = Path(path)
     t0 = time.perf_counter()
@@ -230,15 +319,20 @@ def read_checkpoint(
             v_max=header["v_max"],
             dtype=np.dtype(header["dtype"]),
         )
-        f = data["f"]
+        arrays = {"f": data["f"]}
         particles = None
         if header["has_particles"]:
+            arrays["positions"] = data["positions"]
+            arrays["velocities"] = data["velocities"]
+            arrays["masses"] = data["masses"]
             particles = ParticleSet(
-                data["positions"],
-                data["velocities"],
-                data["masses"],
+                arrays["positions"],
+                arrays["velocities"],
+                arrays["masses"],
                 header["box_size"],
             )
+        _verify_checksums(path, header, arrays)
+        f = arrays["f"]
     elapsed = time.perf_counter() - t0
     if timer is not None:
         timer.record_read(elapsed, path.stat().st_size)

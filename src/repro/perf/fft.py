@@ -81,7 +81,8 @@ class SpectralBackend:
         time (same discipline as :class:`~repro.perf.arena.ScratchArena`).
     """
 
-    __slots__ = ("workers", "arena", "n_forward", "n_inverse", "_plans")
+    __slots__ = ("workers", "arena", "n_forward", "n_inverse", "n_fallbacks",
+                 "_plans")
 
     def __init__(self, workers: int | None = None,
                  arena: ScratchArena | None = None) -> None:
@@ -89,6 +90,9 @@ class SpectralBackend:
         self.arena = ScratchArena() if arena is None else arena
         self.n_forward = 0
         self.n_inverse = 0
+        #: transforms where scipy.fft raised and the numpy path answered
+        #: instead (see :meth:`_fallback`).
+        self.n_fallbacks = 0
         #: (kind, shape) signatures executed at least once — the plans
         #: pocketfft has built and cached for this process.
         self._plans: set[tuple] = set()
@@ -100,12 +104,34 @@ class SpectralBackend:
         """Which FFT library backs the transforms."""
         return "scipy.fft" if _scipy_fft is not None else "numpy.fft"
 
+    def _fallback(self, kind: str, exc: Exception) -> None:
+        """Record one scipy-path failure answered by numpy instead.
+
+        A scipy transform failing (a worker-pool hiccup, a platform bug)
+        must degrade the run's speed, never its correctness or survival:
+        the same transform is re-run on ``numpy.fft``, the ``fallbacks``
+        counter ticks, and a telemetry warning is published.
+        """
+        self.n_fallbacks += 1
+        try:
+            from ..runtime.telemetry import emit_event
+
+            emit_event(
+                "fft_fallback", transform=kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        except Exception:  # pragma: no cover - teardown-order imports
+            pass
+
     def rfftn(self, x: np.ndarray, axes=None) -> np.ndarray:
         """Forward real-to-complex N-D transform (counted)."""
         self.n_forward += 1
         self._plans.add(("rfftn", x.shape))
         if _scipy_fft is not None:
-            return _scipy_fft.rfftn(x, axes=axes, workers=self.workers)
+            try:
+                return _scipy_fft.rfftn(x, axes=axes, workers=self.workers)
+            except Exception as exc:
+                self._fallback("rfftn", exc)
         return np.fft.rfftn(x, axes=axes)
 
     def irfftn(self, x_k: np.ndarray, s, axes=None) -> np.ndarray:
@@ -115,7 +141,12 @@ class SpectralBackend:
         if axes is None:
             axes = range(len(s))
         if _scipy_fft is not None:
-            return _scipy_fft.irfftn(x_k, s=s, axes=axes, workers=self.workers)
+            try:
+                return _scipy_fft.irfftn(
+                    x_k, s=s, axes=axes, workers=self.workers
+                )
+            except Exception as exc:
+                self._fallback("irfftn", exc)
         return np.fft.irfftn(x_k, s=s, axes=axes)
 
     def kspace_product(self, key, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -146,6 +177,7 @@ class SpectralBackend:
             "n_forward": self.n_forward,
             "n_inverse": self.n_inverse,
             "n_plans": len(self._plans),
+            "fallbacks": self.n_fallbacks,
         }
 
     def stats(self) -> dict:

@@ -36,12 +36,36 @@ Backends
 
 Each worker slot owns a private :class:`~repro.perf.arena.ScratchArena`,
 so steady-state sweeps are allocation-free in every worker.
+
+Supervision
+-----------
+Process pools fail in ways thread pools cannot: a worker can be OOM- or
+operator-killed (``BrokenProcessPool``), or wedge on a bad node.  The
+engine supervises every process sweep: a broken pool or a sweep that
+exceeds ``task_timeout`` tears the pool down, waits a bounded
+exponential backoff, and retries on a fresh pool up to ``max_retries``
+times; when the budget is exhausted the engine **degrades permanently**
+(``processes`` → ``threads`` → ``serial``), finishes the sweep on the
+surviving backend, and publishes an ``engine_degraded`` telemetry event.
+Because every backend executes identical floating-point operations,
+degradation never changes the answer — only the wall clock.
+
+Shared-memory segments are registered in a module-level table and
+unlinked by an ``atexit`` hook, so segments cannot leak even when the
+parent dies mid-``advect`` (the historical leak: ``close()``/``unlink``
+lived only on the happy path of the sweep).
+
+``fault_hook`` (an attribute, wired by the chaos harness) is called as
+``hook(engine, pool)`` at the start of each *process* sweep — the
+injection point for :meth:`repro.runtime.faults.FaultPlan.worker_fault`.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ThreadPoolExecutor, wait
+import time
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor, wait
 
 import numpy as np
 
@@ -49,7 +73,54 @@ from ..core.advection import SCHEMES, advect
 from ..parallel.decomposition import pencil_slices
 from .arena import ScratchArena
 
-__all__ = ["PencilEngine"]
+__all__ = ["PencilEngine", "SweepTimeout"]
+
+
+class SweepTimeout(RuntimeError):
+    """A sharded sweep exceeded the engine's ``task_timeout``."""
+
+
+def _emit(kind: str, **fields) -> None:
+    """Publish a telemetry event (lazy import; no-op outside a run)."""
+    try:
+        from ..runtime.telemetry import emit_event
+    except Exception:  # pragma: no cover - import cycles during teardown
+        return
+    emit_event(kind, **fields)
+
+
+# -- shared-memory leak guard ------------------------------------------------
+#
+# Every segment the engine creates is registered here and deregistered on
+# the normal release path; whatever is still registered when the process
+# exits (crash mid-advect, exception between create and the finally) is
+# unlinked by the atexit hook.  Without this, a SIGKILL'd run leaves
+# /dev/shm blocks behind until reboot.
+
+_LIVE_SEGMENTS: dict[int, object] = {}
+
+
+def _register_segment(shm) -> None:
+    _LIVE_SEGMENTS[id(shm)] = shm
+
+
+def _release_segment(shm) -> None:
+    """Close + unlink one segment, tolerating partial prior cleanup."""
+    _LIVE_SEGMENTS.pop(id(shm), None)
+    try:
+        shm.close()
+    except BufferError:  # a view still alive; unlink still detaches the name
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+@atexit.register
+def _cleanup_leaked_segments() -> None:  # pragma: no cover - exit path
+    for shm in list(_LIVE_SEGMENTS.values()):
+        _release_segment(shm)
 
 
 def _available_cores() -> int:
@@ -115,7 +186,20 @@ class PencilEngine:
         Arrays smaller than this run serially — dispatch overhead beats
         the win on small problems (see docs/PERFORMANCE.md).  Set 0 to
         force sharding (the tests do).
+    max_retries:
+        Process-sweep retry budget: how many times a broken/timed-out
+        pool is rebuilt and the sweep re-run before the engine degrades
+        to the next backend down.
+    backoff_base:
+        First retry delay [s]; doubles per retry (bounded exponential).
+    task_timeout:
+        Wall-clock budget [s] for one sharded sweep; ``None`` (default)
+        waits forever.  Exceeding it counts as a worker failure.
     """
+
+    #: Degradation ladder: each backend's fallback when supervision
+    #: exhausts its retry budget.  Serial has nowhere left to go.
+    FALLBACK = {"processes": "threads", "threads": "serial"}
 
     def __init__(
         self,
@@ -123,6 +207,9 @@ class PencilEngine:
         backend: str = "threads",
         pencils_per_worker: int = 1,
         min_shard_bytes: int = 1 << 16,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        task_timeout: float | None = None,
     ) -> None:
         if backend not in ("threads", "processes", "serial"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -130,23 +217,35 @@ class PencilEngine:
             raise ValueError("n_workers must be >= 1")
         if pencils_per_worker < 1:
             raise ValueError("pencils_per_worker must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.n_workers = int(n_workers) if n_workers else _available_cores()
         self.backend = backend
         self.pencils_per_worker = int(pencils_per_worker)
         self.min_shard_bytes = int(min_shard_bytes)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.task_timeout = task_timeout
         self._executor = None
         self._arenas: list[ScratchArena] = []
         #: plan of the most recent ``advect`` call, for tests/benchmarks:
         #: dict with backend / shard_axis / n_pencils (or None if serial).
         self.last_plan: dict | None = None
+        #: chaos-harness injection point: called as ``hook(self, pool)``
+        #: at the start of each process sweep (see module docstring).
+        self.fault_hook = None
+        #: cumulative supervision counters (survive degradation).
+        self.retries = 0
+        #: backends abandoned by supervision, in order ("processes", ...).
+        self.degradations: list[str] = []
 
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (the engine can be reused after)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut the worker pool down (idempotent; the engine is reusable)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "PencilEngine":
         return self
@@ -284,7 +383,60 @@ class PencilEngine:
             self._run_processes(f, sh, axis, scheme, bc, out, shard, slices)
         return out
 
+    # -- supervision ----------------------------------------------------
+
+    def _await(self, futures) -> None:
+        """Wait for a sweep's futures within budget; re-raise failures."""
+        done, pending = wait(futures, timeout=self.task_timeout)
+        if pending:
+            for fut in pending:
+                fut.cancel()
+            raise SweepTimeout(
+                f"{len(pending)}/{len(futures)} pencils still pending "
+                f"after {self.task_timeout}s"
+            )
+        for fut in done:
+            fut.result()  # re-raise the first worker failure
+
+    def _teardown_pool(self) -> None:
+        """Abandon the (possibly broken/stalled) pool without blocking."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
+
+    def _degrade(self, reason: str) -> None:
+        """Step down the backend ladder permanently; record and publish."""
+        fallback = self.FALLBACK[self.backend]
+        self.degradations.append(self.backend)
+        _emit(
+            "engine_degraded",
+            from_backend=self.backend, to_backend=fallback, reason=reason,
+        )
+        self.backend = fallback
+
+    def _run_serial(self, f, sh, axis, scheme, bc, out) -> None:
+        """Last-resort path: the plain serial kernel (same bits)."""
+        self.last_plan = None
+        advect(f, sh, axis, scheme=scheme, bc=bc, out=out,
+               arena=self._arena(0))
+
     def _run_threads(self, f, sh, axis, scheme, bc, out, shard, slices):
+        try:
+            self._threads_sweep(f, sh, axis, scheme, bc, out, shard, slices)
+        except (BrokenExecutor, SweepTimeout) as exc:
+            # Thread pools don't lose workers; the only infra failure is
+            # a stall past task_timeout — no point retrying a stall on
+            # the same pool, degrade straight to serial and finish.
+            self._teardown_pool()
+            self.retries += 1
+            _emit("worker_failure", backend="threads", error=repr(exc))
+            self._degrade(repr(exc))
+            self._run_serial(f, sh, axis, scheme, bc, out)
+
+    def _threads_sweep(self, f, sh, axis, scheme, bc, out, shard, slices):
         def one(slot: int, sl: slice) -> None:
             idx = tuple(
                 sl if d == shard else slice(None) for d in range(f.ndim)
@@ -294,22 +446,59 @@ class PencilEngine:
                 scheme=scheme, bc=bc, out=out[idx], arena=self._arena(slot),
             )
 
-        futures = [
+        self._await([
             self._pool().submit(one, slot, sl)
             for slot, sl in enumerate(slices)
-        ]
-        wait(futures)
-        for fut in futures:
-            fut.result()  # re-raise the first worker failure
+        ])
 
     def _run_processes(self, f, sh, axis, scheme, bc, out, shard, slices):
+        """Process sweep under supervision: retry, rebuild, degrade.
+
+        A worker death (``BrokenExecutor``) or sweep timeout tears the
+        pool down and retries on a fresh one after an exponential
+        backoff; ``max_retries`` failures degrade the engine to threads
+        (then serial) for this sweep and every one after.  The output
+        array is only written on a fully successful sweep, so a retry
+        (or the degraded backend) always starts from pristine inputs.
+        """
+        delay = self.backoff_base
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._processes_sweep(
+                    f, sh, axis, scheme, bc, out, shard, slices
+                )
+                return
+            except (BrokenExecutor, SweepTimeout) as exc:
+                self._teardown_pool()
+                self.retries += 1
+                _emit(
+                    "worker_failure",
+                    backend="processes", attempt=attempt, error=repr(exc),
+                )
+                if attempt >= self.max_retries:
+                    self._degrade(repr(exc))
+                    break
+                time.sleep(delay)
+                delay *= 2.0
+        # Degraded mid-sweep: finish on the surviving backend (the result
+        # is bitwise-identical on every backend, so nothing is lost but
+        # wall clock).
+        if self.backend == "threads":
+            self._run_threads(f, sh, axis, scheme, bc, out, shard, slices)
+        else:
+            self._run_serial(f, sh, axis, scheme, bc, out)
+
+    def _processes_sweep(self, f, sh, axis, scheme, bc, out, shard, slices):
         from multiprocessing import shared_memory
 
         shm_in = shared_memory.SharedMemory(create=True, size=f.nbytes)
+        _register_segment(shm_in)
         shm_out = shared_memory.SharedMemory(create=True, size=f.nbytes)
+        _register_segment(shm_out)
         try:
             stage = np.ndarray(f.shape, dtype=f.dtype, buffer=shm_in.buf)
             stage[...] = f
+            del stage  # release the buffer view before close()
             tasks = [
                 (
                     shm_in.name, shm_out.name, f.shape, f.dtype.str, shard,
@@ -320,17 +509,16 @@ class PencilEngine:
                 )
                 for sl in slices
             ]
-            futures = [self._pool().submit(_pencil_worker, t) for t in tasks]
-            wait(futures)
-            for fut in futures:
-                fut.result()
+            pool = self._pool()
+            if self.fault_hook is not None:
+                self.fault_hook(self, pool)
+            self._await([pool.submit(_pencil_worker, t) for t in tasks])
             result = np.ndarray(f.shape, dtype=f.dtype, buffer=shm_out.buf)
             out[...] = result
+            del result
         finally:
-            shm_in.close()
-            shm_in.unlink()
-            shm_out.close()
-            shm_out.unlink()
+            _release_segment(shm_in)
+            _release_segment(shm_out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -12,12 +12,17 @@ as ``repro run <config>`` / ``repro resume <run_dir>``; see
 
 from .config import (
     CheckpointConfig,
+    EngineConfig,
+    FaultsConfig,
     GridConfig,
     GuardConfig,
+    RecoveryConfig,
     RunConfig,
     ScheduleConfig,
 )
+from .faults import FaultEvent, FaultPlan
 from .guards import GuardReport, GuardSuite
+from .recovery import RecoveryManager
 from .runner import (
     EXIT_COMPLETE,
     EXIT_GUARD_ABORT,
@@ -25,8 +30,22 @@ from .runner import (
     SimulationRunner,
     find_latest_valid_checkpoint,
 )
-from .scenarios import Stepper, build_hybrid_simulation, build_stepper, hybrid_demo
-from .telemetry import TELEMETRY_FIELDS, TelemetryWriter, read_telemetry, summarize
+from .scenarios import (
+    Stepper,
+    build_engine,
+    build_hybrid_simulation,
+    build_stepper,
+    hybrid_demo,
+)
+from .telemetry import (
+    TELEMETRY_FIELDS,
+    TelemetryWriter,
+    emit_event,
+    read_events,
+    read_telemetry,
+    set_event_sink,
+    summarize,
+)
 
 __all__ = [
     "RunConfig",
@@ -34,19 +53,29 @@ __all__ = [
     "ScheduleConfig",
     "CheckpointConfig",
     "GuardConfig",
+    "EngineConfig",
+    "RecoveryConfig",
+    "FaultsConfig",
+    "FaultEvent",
+    "FaultPlan",
     "GuardReport",
     "GuardSuite",
+    "RecoveryManager",
     "SimulationRunner",
     "find_latest_valid_checkpoint",
     "EXIT_COMPLETE",
     "EXIT_RESUMABLE",
     "EXIT_GUARD_ABORT",
     "Stepper",
+    "build_engine",
     "build_stepper",
     "build_hybrid_simulation",
     "hybrid_demo",
     "TELEMETRY_FIELDS",
     "TelemetryWriter",
+    "emit_event",
+    "read_events",
     "read_telemetry",
+    "set_event_sink",
     "summarize",
 ]

@@ -25,8 +25,13 @@ from pathlib import Path
 #: Scenarios the runner knows how to build (see runtime.scenarios).
 SCENARIOS = ("plasma", "gravitational", "hybrid")
 
-#: Guard escalation policies.
-POLICIES = ("off", "warn", "abort")
+#: Guard escalation policies (see GuardConfig; "rollback" restores the
+#: newest valid checkpoint and retries instead of exiting).
+POLICIES = ("off", "warn", "abort", "rollback")
+
+#: Pencil-engine backends the runner can build ("off" = no engine, the
+#: plain serial kernels inside the drivers).
+ENGINE_BACKENDS = ("off", "serial", "threads", "processes")
 
 
 @dataclass
@@ -79,8 +84,11 @@ class CheckpointConfig:
 class GuardConfig:
     """Per-step health monitors and their escalation policies.
 
-    Each guard is ``"off"``, ``"warn"`` (log to telemetry, keep going) or
-    ``"abort"`` (write a final checkpoint, mark the run aborted, exit).
+    Each guard is ``"off"``, ``"warn"`` (log to telemetry, keep going),
+    ``"abort"`` (write a final checkpoint, mark the run aborted, exit)
+    or ``"rollback"`` (restore the newest valid checkpoint, optionally
+    shrink dt, and re-run — see :class:`RecoveryConfig`; the attempt
+    budget exhausting falls back to the abort path).
     """
 
     nan: str = "abort"
@@ -91,6 +99,61 @@ class GuardConfig:
     max_energy_drift: float = 0.1
     stall: str = "off"
     max_step_seconds: float = 60.0
+
+
+@dataclass
+class EngineConfig:
+    """The multicore advection engine (:class:`repro.perf.pencil.PencilEngine`).
+
+    ``backend="off"`` (default) runs the drivers' plain serial kernels
+    with no engine object at all; the other backends shard directional
+    sweeps into pencils (every backend is bitwise-identical — see
+    ``docs/PERFORMANCE.md``).  The supervision knobs mirror the engine's:
+    a broken or timed-out process sweep is retried ``max_retries`` times
+    with exponential backoff from ``backoff_base`` seconds, then the
+    engine degrades processes → threads → serial permanently.  The
+    hybrid scenario ignores this section (its driver manages its own
+    kernels).
+    """
+
+    backend: str = "off"
+    n_workers: int | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    task_timeout: float | None = None
+    min_shard_bytes: int = 1 << 16
+
+
+@dataclass
+class RecoveryConfig:
+    """The ``rollback`` guard policy's budget and aggressiveness.
+
+    ``max_attempts`` bounds how many rollbacks one run may perform
+    before the trip escalates to the abort path (exit 70).  Each
+    rollback multiplies the stepper's dt by ``dt_scale``; the default
+    1.0 re-runs with identical arithmetic, which keeps recovery
+    **bitwise-identical** to a fault-free run when the underlying cause
+    was transient (an injected fault, a cosmic-ray flip).  Set it below
+    1.0 to trade that reproducibility for stability when the trip is a
+    genuine timestep problem.
+    """
+
+    max_attempts: int = 3
+    dt_scale: float = 1.0
+
+
+@dataclass
+class FaultsConfig:
+    """Deterministic chaos injection (:mod:`repro.runtime.faults`).
+
+    ``events`` is a list of fault-event tables (``kind``, ``step``,
+    optional ``count``/``magnitude``); empty (the default) disables
+    injection entirely.  ``seed`` feeds the plan's RNG, so which
+    cells/bytes a fault touches is exactly reproducible.
+    """
+
+    seed: int = 0
+    events: list = field(default_factory=list)
 
 
 @dataclass
@@ -110,6 +173,9 @@ class RunConfig:
     schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     guards: GuardConfig = field(default_factory=GuardConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
     params: dict = field(default_factory=dict)
     wall_clock_budget: float | None = None
     #: Artificial per-step pause [s] — a pacing aid for signal/stall
@@ -155,6 +221,28 @@ class RunConfig:
                 raise ValueError(
                     f"guards.{guard} policy {policy!r} not in {POLICIES}"
                 )
+        e = self.engine
+        if e.backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"engine.backend {e.backend!r} not in {ENGINE_BACKENDS}"
+            )
+        if e.n_workers is not None and e.n_workers < 1:
+            raise ValueError("engine.n_workers must be >= 1 or null")
+        if e.max_retries < 0:
+            raise ValueError("engine.max_retries must be >= 0")
+        if e.task_timeout is not None and e.task_timeout <= 0.0:
+            raise ValueError("engine.task_timeout must be positive or null")
+        r = self.recovery
+        if r.max_attempts < 1:
+            raise ValueError("recovery.max_attempts must be >= 1")
+        if not 0.0 < r.dt_scale <= 1.0:
+            raise ValueError("recovery.dt_scale must be in (0, 1]")
+        for event in self.faults.events:
+            from .faults import FaultEvent  # deferred: keeps import order free
+
+            if not isinstance(event, dict):
+                raise ValueError("faults.events entries must be tables/dicts")
+            FaultEvent(**event)  # validates kind/step/count
         if self.wall_clock_budget is not None and self.wall_clock_budget <= 0.0:
             raise ValueError("wall_clock_budget must be positive or null")
         if self.step_delay < 0.0:
@@ -183,6 +271,9 @@ class RunConfig:
             ("schedule", ScheduleConfig),
             ("checkpoint", CheckpointConfig),
             ("guards", GuardConfig),
+            ("engine", EngineConfig),
+            ("recovery", RecoveryConfig),
+            ("faults", FaultsConfig),
         ):
             if section in data:
                 kwargs[section] = _build_section(section_cls, data.pop(section))
@@ -249,6 +340,13 @@ def _toml_scalar(value) -> str:
         return json.dumps(value)  # TOML basic strings are JSON-compatible
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    if isinstance(value, dict):  # inline table (fault events inside a list)
+        return (
+            "{" + ", ".join(
+                f"{k} = {_toml_scalar(v)}"
+                for k, v in value.items() if v is not None
+            ) + "}"
+        )
     raise TypeError(f"cannot emit {type(value).__name__} as TOML")
 
 

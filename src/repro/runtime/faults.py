@@ -1,0 +1,267 @@
+"""Deterministic chaos injection for the fault-tolerance layer.
+
+The paper's 400-trillion-grid campaigns survive Fugaku's node-scale
+failure rate because restart-and-retry is engineered, not hoped for.
+The only way to *know* the recovery machinery works is to make failures
+happen on demand: this module is the chaos harness that every recovery
+path in the runtime is proven against.
+
+A :class:`FaultPlan` is a seeded, declarative schedule of faults.  Each
+:class:`FaultEvent` fires **exactly once**, at the first opportunity on
+or after its scheduled step, and which bytes/cells it touches is drawn
+from the plan's own RNG — so a chaos run is exactly reproducible from
+its spec, the same discipline as the simulation ICs.
+
+Fault kinds (``FAULT_KINDS``):
+
+``kill_worker``
+    SIGKILL one pencil **process** worker mid-sweep (the engine's fault
+    hook submits a suicide task to the pool).  Exercises
+    ``BrokenProcessPool`` supervision: retry, pool rebuild, degrade.
+``stall_worker``
+    Occupy a pencil worker with a sleep longer than the engine's task
+    timeout.  Exercises the per-sweep timeout path.
+``corrupt_checkpoint``
+    Flip bytes of the newest checkpoint *after* it lands on disk.
+    Exercises checksum verify-on-read and quarantine.
+``inject_nan`` / ``inject_negative``
+    Poison cells of the distribution function after a step.  Exercises
+    the guard suite and the ``rollback`` escalation policy.
+``stall_step``
+    Sleep inside the step's measured wall clock.  Exercises the stall
+    guard.
+
+Plans load from a config section, an environment variable
+(``REPRO_FAULTS`` — inline JSON or a path to a JSON file), or the CLI
+(``repro run --faults ...``); see :meth:`FaultPlan.from_spec`.
+
+Every fired fault is published as a ``fault_injected`` telemetry event
+and recorded in :attr:`FaultPlan.log`, so a chaos run's telemetry shows
+both the injections and the recoveries they provoked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .telemetry import emit_event
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS = (
+    "kill_worker",
+    "stall_worker",
+    "corrupt_checkpoint",
+    "inject_nan",
+    "inject_negative",
+    "stall_step",
+)
+
+#: Environment variable the CLI/runner consult for an ambient plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+# -- picklable worker payloads (must be module-level for process pools) --
+
+
+def _kill_self() -> None:  # pragma: no cover - dies before reporting
+    """Suicide task: SIGKILL the worker process executing it."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _occupy(seconds: float) -> None:  # pragma: no cover - runs in worker
+    """Stall task: hold a worker slot busy for ``seconds``."""
+    time.sleep(seconds)
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault: what, when, and how hard.
+
+    ``count`` is the number of cells (state injection) or bytes
+    (checkpoint corruption) touched; ``magnitude`` is the injected
+    negative amplitude (``inject_negative``) or the sleep length in
+    seconds (``stall_worker`` / ``stall_step``).
+    """
+
+    kind: str
+    step: int = 1
+    count: int = 4
+    magnitude: float = 1.0
+    fired_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.step < 1:
+            raise ValueError("fault step must be >= 1")
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+
+    @property
+    def fired(self) -> bool:
+        """Whether this one-shot event has already gone off."""
+        return self.fired_at is not None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the telemetry / config representation)."""
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "count": self.count,
+            "magnitude": self.magnitude,
+        }
+
+
+class FaultPlan:
+    """A seeded one-shot schedule of faults, armed per step by the runner.
+
+    The runner calls :meth:`begin_step` before each step and then offers
+    the plan its injection points (state mutation after the advance,
+    file corruption after a checkpoint write, the engine's worker hook
+    during a process sweep).  An event fires at the **first** offered
+    opportunity at or after its scheduled step — so a ``kill_worker``
+    scheduled for step 2 of a run whose engine only sweeps on step 3
+    fires on step 3, once.
+    """
+
+    def __init__(self, events, seed: int = 0) -> None:
+        self.events: list[FaultEvent] = [
+            e if isinstance(e, FaultEvent) else FaultEvent(**e) for e in events
+        ]
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.step = 0
+        #: Every fired event, in firing order: ``(step_fired, event_dict)``.
+        self.log: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec) -> "FaultPlan | None":
+        """Build a plan from any accepted spec form (``None`` passes through).
+
+        Accepts a :class:`FaultPlan`, a list of event dicts, a dict
+        ``{"seed": ..., "events": [...]}``, inline JSON text, or a path
+        to a JSON file holding either of the JSON forms.
+        """
+        if spec is None:
+            return None
+        if isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, (str, Path)):
+            text = str(spec)
+            if text.lstrip().startswith(("{", "[")):
+                spec = json.loads(text)
+            else:
+                spec = json.loads(Path(text).read_text())
+        if isinstance(spec, (list, tuple)):
+            spec = {"events": list(spec)}
+        if not isinstance(spec, dict):
+            raise ValueError(f"cannot build a FaultPlan from {type(spec).__name__}")
+        unknown = set(spec) - {"seed", "events"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        return cls(spec.get("events", []), seed=spec.get("seed", 0))
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Plan from ``REPRO_FAULTS`` (inline JSON or a file path), if set."""
+        spec = os.environ.get(FAULTS_ENV, "").strip()
+        return cls.from_spec(spec) if spec else None
+
+    # ------------------------------------------------------------------
+    # arming and firing
+    # ------------------------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        """Arm the plan for the step about to execute (1-based)."""
+        self.step = int(step)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled event has fired."""
+        return all(e.fired for e in self.events)
+
+    def _take(self, kind: str) -> FaultEvent | None:
+        """Fire (and return) the next due unfired event of ``kind``."""
+        for event in self.events:
+            if event.kind == kind and not event.fired and self.step >= event.step:
+                event.fired_at = self.step
+                entry = {"fired_at": self.step, **event.as_dict()}
+                self.log.append(entry)
+                emit_event("fault_injected", **entry)
+                return event
+        return None
+
+    # -- injection points, one per failure domain ----------------------
+
+    def mutate_state(self, f: np.ndarray) -> list[dict]:
+        """Poison cells of f (NaN / negative), in place; returns firings."""
+        fired = []
+        event = self._take("inject_nan")
+        if event is not None:
+            idx = self.rng.integers(0, f.size, size=event.count)
+            f.reshape(-1)[idx] = np.nan
+            fired.append(self.log[-1])
+        event = self._take("inject_negative")
+        if event is not None:
+            idx = self.rng.integers(0, f.size, size=event.count)
+            f.reshape(-1)[idx] = -abs(event.magnitude)
+            fired.append(self.log[-1])
+        return fired
+
+    def stall_seconds(self) -> float:
+        """Seconds of artificial stall due this step (0.0 when none)."""
+        event = self._take("stall_step")
+        return float(event.magnitude) if event is not None else 0.0
+
+    def corrupt_file(self, path: str | Path) -> dict | None:
+        """Flip ``count`` seeded byte positions of a file on disk.
+
+        In-place by design — simulating corruption *after* a clean
+        atomic write, the silent-bit-flip case the checksums exist for.
+        """
+        event = self._take("corrupt_checkpoint")
+        if event is None:
+            return None
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            return self.log[-1]
+        for pos in self.rng.integers(0, len(data), size=event.count):
+            data[pos] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return self.log[-1]
+
+    def worker_fault(self, engine, pool) -> None:
+        """Pencil-engine fault hook: sabotage the process pool mid-sweep.
+
+        Wired by the runner as ``engine.fault_hook``; called by the
+        engine after the pool exists and before the sweep's tasks are
+        dispatched, so the kill/stall lands *mid-sweep*.  Drains every
+        due event (two ``stall_worker`` events occupy two workers).
+        """
+        while self._take("kill_worker") is not None:
+            pool.submit(_kill_self)
+        while (event := self._take("stall_worker")) is not None:
+            pool.submit(_occupy, float(event.magnitude))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fired = sum(e.fired for e in self.events)
+        return (
+            f"FaultPlan(seed={self.seed}, events={len(self.events)}, "
+            f"fired={fired}, step={self.step})"
+        )

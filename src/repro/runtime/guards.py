@@ -15,9 +15,15 @@ carries a policy:
   the run aborted, and exit.  The checkpoint is written *before* the
   exit so the state that tripped the guard is inspectable — and the run
   resumable once the cause is fixed.
+* ``"rollback"`` — report and let the runner restore the newest valid
+  checkpoint, shrink dt by the configured factor, and re-run (see
+  :mod:`repro.runtime.recovery`); when the attempt budget is exhausted
+  the trip escalates to the abort path.
 
 Guards never mutate simulation state and never raise on healthy data;
-the runner stays in charge of control flow.
+the runner stays in charge of control flow.  When both policies fire in
+one step, abort outranks rollback (a state bad enough to abort on must
+not be silently retried away).
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ class GuardReport:
     """One guard firing: which guard, at what policy, and why."""
 
     guard: str
-    policy: str  # "warn" | "abort"
+    policy: str  # "warn" | "abort" | "rollback"
     message: str
 
     def as_dict(self) -> dict:
@@ -111,3 +117,10 @@ class GuardSuite:
     def should_abort(reports: list[GuardReport]) -> bool:
         """Whether any fired guard carries the abort policy."""
         return any(r.policy == "abort" for r in reports)
+
+    @staticmethod
+    def should_rollback(reports: list[GuardReport]) -> bool:
+        """Whether any fired guard asks for a rollback (abort outranks)."""
+        return any(r.policy == "rollback" for r in reports) and not any(
+            r.policy == "abort" for r in reports
+        )

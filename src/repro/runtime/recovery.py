@@ -1,0 +1,165 @@
+"""Rollback-and-retry recovery for guarded runs.
+
+The abort path (checkpoint, mark aborted, exit 70) preserves evidence
+but ends the campaign; on Fugaku-scale hardware most trips are
+*transient* — a flipped bit, a wedged node — and the economical response
+is the paper's: restore the last good state and go again.  This module
+owns the two pieces the runner composes:
+
+:func:`find_latest_valid_checkpoint`
+    The resume scan, hardened.  Candidates are tried newest-first;
+    anything unreadable — truncated zip, bad header, shape mismatch,
+    **checksum mismatch** (:class:`~repro.io.snapshot.SnapshotIntegrityError`)
+    — is skipped and, with ``quarantine_corrupt=True``, renamed to
+    ``*.corrupt`` so the restart chain never re-reads it (the bytes stay
+    on disk for post-mortem).  Every quarantine is published as a
+    ``checkpoint_quarantined`` telemetry event.
+
+:class:`RecoveryManager`
+    The rollback ledger for one run: counts attempts against the
+    configured budget and locates the state to restore.  The *runner*
+    performs the actual restore (rebuild stepper → adopt checkpoint →
+    re-register ledger/guards) because a NaN that tripped a guard has
+    already poisoned the incremental drift tracking — recovery must
+    rebuild the observers, not just the state.
+
+With ``recovery.dt_scale = 1.0`` (the default) a rollback re-executes
+bit-identical arithmetic from the restored state, so a run that recovers
+from a transient fault finishes **bitwise-identical** to a fault-free
+run — the property the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..io.snapshot import (
+    IOTimer,
+    SnapshotIntegrityError,
+    quarantine,
+    read_checkpoint,
+)
+from .config import RecoveryConfig
+from .telemetry import emit_event
+
+__all__ = [
+    "CheckpointState",
+    "RecoveryManager",
+    "find_latest_valid_checkpoint",
+]
+
+
+@dataclass
+class CheckpointState:
+    """A successfully validated checkpoint, ready to restore."""
+
+    path: Path
+    grid: object
+    f: np.ndarray
+    particles: object
+    header: dict
+    skipped: list[tuple[Path, str]]
+
+
+def find_latest_valid_checkpoint(
+    ck_dir: Path,
+    timer: IOTimer | None = None,
+    quarantine_corrupt: bool = False,
+) -> CheckpointState | None:
+    """Newest checkpoint that actually loads, skipping broken files.
+
+    Candidates are scanned newest-first (the step number is in the
+    filename); anything that fails to read — truncated zip, bad header,
+    shape mismatch, checksum mismatch
+    (:class:`~repro.io.snapshot.SnapshotIntegrityError`, the line of
+    defense that catches flips the container format itself misses) — is
+    recorded in ``skipped`` and kept on disk for post-mortem rather than
+    deleted.  With ``quarantine_corrupt=True`` failing files are
+    additionally renamed to ``*.corrupt`` (and a
+    ``checkpoint_quarantined`` event published), which takes them out of
+    the ``ck_*.npz`` glob so later scans skip them without paying the
+    read.
+    """
+    skipped: list[tuple[Path, str]] = []
+    for path in sorted(ck_dir.glob("ck_*.npz"), reverse=True):
+        try:
+            grid, f, particles, header = read_checkpoint(path, timer=timer)
+        except Exception as exc:  # any unreadable container is skippable
+            reason = f"{type(exc).__name__}: {exc}"
+            if quarantine_corrupt:
+                target = quarantine(path)
+                reason += f" (quarantined to {target.name})"
+                emit_event(
+                    "checkpoint_quarantined",
+                    path=str(path),
+                    quarantined_to=target.name,
+                    integrity=isinstance(exc, SnapshotIntegrityError),
+                )
+            skipped.append((path, reason))
+            continue
+        return CheckpointState(path, grid, f, particles, header, skipped)
+    if skipped:
+        return CheckpointState(Path(), None, None, None, {}, skipped)
+    return None
+
+
+class RecoveryManager:
+    """Counts rollback attempts and finds the state to restore.
+
+    One manager lives for one ``run()`` invocation; its budget is the
+    run's, not the trip's — three separate guard trips against a
+    ``max_attempts = 3`` budget exhaust it just like three retries of
+    one trip (an endlessly re-tripping run must still terminate).
+    """
+
+    def __init__(self, ck_dir: Path, config: RecoveryConfig,
+                 timer: IOTimer | None = None) -> None:
+        self.ck_dir = Path(ck_dir)
+        self.config = config
+        self.timer = timer
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the attempt budget is spent."""
+        return self.attempts >= self.config.max_attempts
+
+    @property
+    def dt_factor(self) -> float:
+        """Cumulative dt multiplier after the attempts taken so far."""
+        return float(self.config.dt_scale) ** self.attempts
+
+    def begin_attempt(self, reason: str) -> CheckpointState | None:
+        """Charge one attempt and locate the newest restorable state.
+
+        Returns the checkpoint to restore (``f is None`` means nothing
+        restorable survives — restart from step 0), or raises
+        :class:`RuntimeError` if the budget is already exhausted; the
+        caller decides what exhaustion escalates to.  The located state
+        is also published as a ``rollback`` telemetry event.
+        """
+        if self.exhausted:
+            raise RuntimeError(
+                f"rollback budget exhausted "
+                f"({self.attempts}/{self.config.max_attempts} attempts)"
+            )
+        self.attempts += 1
+        state = find_latest_valid_checkpoint(
+            self.ck_dir, timer=self.timer, quarantine_corrupt=True
+        )
+        restored_step = (
+            int(state.header["step"])
+            if state is not None and state.f is not None else 0
+        )
+        emit_event(
+            "rollback",
+            attempt=self.attempts,
+            budget=self.config.max_attempts,
+            reason=reason,
+            restored_step=restored_step,
+            dt_factor=self.dt_factor,
+        )
+        return state

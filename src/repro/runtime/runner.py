@@ -24,7 +24,18 @@ operational discipline:
   wall-clock budget and ``max_steps`` drain through the same path;
 * **guards** — per-step health checks (:mod:`repro.runtime.guards`);
   an ``abort``-policy trip writes a final checkpoint *before* exiting
-  with :data:`EXIT_GUARD_ABORT`, so the offending state is preserved.
+  with :data:`EXIT_GUARD_ABORT`, so the offending state is preserved;
+  a ``rollback``-policy trip restores the newest valid checkpoint
+  (quarantining checksum-corrupt ones), optionally shrinks dt, rebuilds
+  the ledger/guards, and re-runs — bounded by ``recovery.max_attempts``,
+  after which it escalates to the abort path
+  (:mod:`repro.runtime.recovery`);
+* **chaos injection** — an optional :class:`~repro.runtime.faults.FaultPlan`
+  (``[faults]`` config section, ``REPRO_FAULTS`` env, or the ``run()``
+  argument) fires deterministic worker kills, checkpoint corruption,
+  NaN/negative-f injection, and step stalls against the machinery above;
+  every injection and recovery lands in the telemetry stream as an
+  event record.
 
 Exit-code contract (also in ``docs/RUNTIME.md``):
 
@@ -34,6 +45,7 @@ name                  value  meaning
 EXIT_COMPLETE             0  schedule finished; final checkpoint on disk
 EXIT_RESUMABLE           75  interrupted/budget/max_steps; resume continues
 EXIT_GUARD_ABORT         70  a guard tripped at abort; state checkpointed
+                             (also: rollback budget exhausted)
 ====================  =====  ==============================================
 """
 
@@ -44,18 +56,21 @@ import os
 import signal
 import sys
 import time
-from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from ..diagnostics.timers import ConservationLedger, StepTimer
-from ..io.snapshot import IOTimer, read_checkpoint
+from ..io.snapshot import IOTimer
 from ..perf.fft import get_default_backend
 from .config import RunConfig
+from .faults import FaultPlan
 from .guards import GuardSuite
-from .scenarios import Stepper, build_stepper
-from .telemetry import TelemetryWriter, peak_rss_mb
+from .recovery import (
+    CheckpointState,
+    RecoveryManager,
+    find_latest_valid_checkpoint,
+)
+from .scenarios import Stepper, build_engine, build_stepper
+from .telemetry import TelemetryWriter, peak_rss_mb, set_event_sink
 
 __all__ = [
     "EXIT_COMPLETE",
@@ -78,41 +93,6 @@ CHECKPOINT_DIR = "checkpoints"
 def checkpoint_name(step: int) -> str:
     """Canonical checkpoint filename for a schedule position."""
     return f"ck_{step:08d}.npz"
-
-
-@dataclass
-class CheckpointState:
-    """A successfully validated checkpoint, ready to restore."""
-
-    path: Path
-    grid: object
-    f: np.ndarray
-    particles: object
-    header: dict
-    skipped: list[tuple[Path, str]]
-
-
-def find_latest_valid_checkpoint(
-    ck_dir: Path, timer: IOTimer | None = None
-) -> CheckpointState | None:
-    """Newest checkpoint that actually loads, skipping broken files.
-
-    Candidates are scanned newest-first (the step number is in the
-    filename); anything that fails to read — truncated zip, bad header,
-    shape mismatch — is recorded in ``skipped`` and left on disk for
-    post-mortem rather than deleted.
-    """
-    skipped: list[tuple[Path, str]] = []
-    for path in sorted(ck_dir.glob("ck_*.npz"), reverse=True):
-        try:
-            grid, f, particles, header = read_checkpoint(path, timer=timer)
-        except Exception as exc:  # any unreadable container is skippable
-            skipped.append((path, f"{type(exc).__name__}: {exc}"))
-            continue
-        return CheckpointState(path, grid, f, particles, header, skipped)
-    if skipped:
-        return CheckpointState(Path(), None, None, None, {}, skipped)
-    return None
 
 
 class SimulationRunner:
@@ -160,20 +140,44 @@ class SimulationRunner:
     # the run loop
     # ------------------------------------------------------------------
 
-    def run(self, max_steps: int | None = None) -> int:
+    def run(self, max_steps: int | None = None,
+            fault_plan: "FaultPlan | None" = None) -> int:
         """Advance the schedule; returns the exit-code-contract status.
 
         ``max_steps`` caps the steps taken by *this invocation* (a
         deterministic stand-in for the wall-clock budget; the run exits
         resumable when the cap lands before the schedule's end).
+        ``fault_plan`` injects chaos (tests/drills); when omitted, the
+        config's ``[faults]`` section and then the ``REPRO_FAULTS``
+        environment variable are consulted.
         """
         config = self.config
         ck_cfg = config.checkpoint
         ck_dir = self.run_dir / CHECKPOINT_DIR
         ck_dir.mkdir(parents=True, exist_ok=True)
 
-        stepper = build_stepper(config, timer=self.timer)
-        state = find_latest_valid_checkpoint(ck_dir, timer=self.io_timer)
+        if fault_plan is None:
+            if config.faults.events:
+                fault_plan = FaultPlan(
+                    config.faults.events, seed=config.faults.seed
+                )
+            else:
+                fault_plan = FaultPlan.from_env()
+
+        # The telemetry stream opens first so that *everything* below —
+        # quarantines during the resume scan, engine degradations,
+        # fault injections, rollbacks — lands in it as event records.
+        telemetry = TelemetryWriter(self.run_dir / TELEMETRY_NAME)
+        prev_sink = set_event_sink(telemetry.event)
+
+        engine = build_engine(config)
+        if engine is not None and fault_plan is not None:
+            engine.fault_hook = fault_plan.worker_fault
+
+        stepper = build_stepper(config, timer=self.timer, engine=engine)
+        state = find_latest_valid_checkpoint(
+            ck_dir, timer=self.io_timer, quarantine_corrupt=True
+        )
         if state is not None:
             for path, reason in state.skipped:
                 print(f"runner: skipping unreadable checkpoint {path.name}: "
@@ -189,7 +193,13 @@ class SimulationRunner:
                 print(f"runner: resumed from {state.path.name} "
                       f"(step {stepper.index}/{stepper.n_steps})",
                       file=sys.stderr)
+            else:
+                print("runner: no valid checkpoint survives in "
+                      f"{ck_dir.name}/ — restarting from step 0",
+                      file=sys.stderr)
 
+        recovery = RecoveryManager(ck_dir, config.recovery,
+                                   timer=self.io_timer)
         self.ledger = ConservationLedger()
         self.ledger.register(**stepper.conserved())
         guard_suite = GuardSuite(config.guards, self.ledger)
@@ -215,14 +225,21 @@ class SimulationRunner:
         self._write_manifest(status="running", exit_code=None,
                              last_step=stepper.index)
 
-        telemetry = TelemetryWriter(self.run_dir / TELEMETRY_NAME)
         try:
             while stepper.index < stepper.n_steps:
+                if fault_plan is not None:
+                    fault_plan.begin_step(stepper.index + 1)
                 t0 = time.monotonic()
                 with self.timer.section("step"):
                     dt = stepper.advance()
                 wall = time.monotonic() - t0
                 steps_taken += 1
+                if fault_plan is not None:
+                    fault_plan.mutate_state(stepper.f)
+                    # A stall is simulated by inflating the measured
+                    # wall clock — deterministic, and it exercises the
+                    # stall guard without actually sleeping.
+                    wall += fault_plan.stall_seconds()
                 if config.step_delay > 0.0:
                     time.sleep(config.step_delay)
 
@@ -240,6 +257,30 @@ class SimulationRunner:
                           file=sys.stderr)
                     break
 
+                if GuardSuite.should_rollback(reports):
+                    worst = next(r for r in reports
+                                 if r.policy == "rollback")
+                    if recovery.exhausted:
+                        self._checkpoint(stepper, ck_dir)
+                        status, exit_code = "aborted", EXIT_GUARD_ABORT
+                        reason = "rollback_exhausted"
+                        print("runner: rollback budget exhausted "
+                              f"({recovery.attempts}/"
+                              f"{recovery.config.max_attempts}) — aborting "
+                              f"on guard: {worst.message}", file=sys.stderr)
+                        break
+                    stepper = self._rollback(
+                        recovery, f"guard:{worst.guard}", engine
+                    )
+                    guard_suite = GuardSuite(config.guards, self.ledger)
+                    last_ck_step = stepper.index
+                    last_ck_time = time.monotonic()
+                    print(f"runner: rollback {recovery.attempts}/"
+                          f"{recovery.config.max_attempts} to step "
+                          f"{stepper.index} on guard — {worst.message}",
+                          file=sys.stderr)
+                    continue
+
                 done = stepper.index >= stepper.n_steps
                 due = not done and (
                     (ck_cfg.every_steps is not None
@@ -249,7 +290,9 @@ class SimulationRunner:
                         >= ck_cfg.every_seconds)
                 )
                 if due:
-                    self._checkpoint(stepper, ck_dir)
+                    path = self._checkpoint(stepper, ck_dir)
+                    if fault_plan is not None:
+                        fault_plan.corrupt_file(path)
                     last_ck_step = stepper.index
                     last_ck_time = time.monotonic()
 
@@ -284,14 +327,49 @@ class SimulationRunner:
         finally:
             for sig, handler in old_handlers.items():
                 signal.signal(sig, handler)
+            set_event_sink(prev_sink)
             telemetry.close()
+            if engine is not None:
+                engine.close()
             self._write_manifest(status=status, exit_code=exit_code,
-                                 last_step=stepper.index, reason=reason)
+                                 last_step=stepper.index, reason=reason,
+                                 rollbacks=recovery.attempts)
         return exit_code
 
     # ------------------------------------------------------------------
     # pieces
     # ------------------------------------------------------------------
+
+    def _rollback(self, recovery: RecoveryManager, reason: str,
+                  engine) -> Stepper:
+        """Restore the newest valid state and rebuild the observers.
+
+        A fresh stepper is built from the config (deterministic ICs —
+        exactly the resume path) and, when a valid checkpoint survives,
+        adopts its state; when none does, the run restarts from step 0.
+        The conservation ledger is rebuilt from the restored state: the
+        trip that brought us here (a NaN, say) has already poisoned the
+        incremental drift tracking, so the old observers cannot be
+        trusted.  Returns the replacement stepper.
+        """
+        state = recovery.begin_attempt(reason)
+        stepper = build_stepper(self.config, timer=self.timer, engine=engine)
+        if state is not None and state.f is not None:
+            if state.grid != stepper.grid:
+                raise RuntimeError(
+                    f"checkpoint {state.path.name} was written for a "
+                    "different grid than this config builds — cannot "
+                    "roll back onto it"
+                )
+            stepper.restore(state.f, state.particles, state.header)
+        if recovery.config.dt_scale != 1.0:
+            if not stepper.rescale_dt(recovery.dt_factor):
+                print("runner: this scenario cannot rescale dt — "
+                      "rolling back at the original step size",
+                      file=sys.stderr)
+        self.ledger = ConservationLedger()
+        self.ledger.register(**stepper.conserved())
+        return stepper
 
     def _record(self, stepper: Stepper, dt: float, wall: float,
                 reports, prev_sections: dict[str, float]) -> dict:
@@ -338,7 +416,8 @@ class SimulationRunner:
             stale.unlink(missing_ok=True)
 
     def _write_manifest(self, status: str, exit_code: int | None,
-                        last_step: int, reason: str = "") -> None:
+                        last_step: int, reason: str = "",
+                        rollbacks: int = 0) -> None:
         """Atomically rewrite ``run.json`` (tmp + rename, like checkpoints)."""
         manifest = {
             "format": 1,
@@ -349,6 +428,7 @@ class SimulationRunner:
             "reason": reason,
             "last_step": last_step,
             "n_steps": self.config.schedule.n_steps,
+            "rollbacks": rollbacks,
             "updated": time.time(),
             "config": self.config.as_dict(),
         }

@@ -53,6 +53,7 @@ __all__ = [
     "PlasmaStepper",
     "GravitationalStepper",
     "HybridStepper",
+    "build_engine",
     "build_stepper",
     "build_hybrid_simulation",
     "hybrid_demo",
@@ -139,6 +140,15 @@ class Stepper:
         """Adopt a checkpoint's state (inverse of :meth:`save`)."""
         raise NotImplementedError
 
+    def rescale_dt(self, factor: float) -> bool:
+        """Multiply the step size by ``factor`` (rollback recovery).
+
+        Returns whether the stepper honored it; schedules that are a
+        fixed coordinate ladder (the hybrid scale-factor schedule)
+        cannot rescale and return False.
+        """
+        return False
+
     def _extra(self) -> dict:
         return {"scenario": self.scenario, "schedule_index": self.index}
 
@@ -149,10 +159,10 @@ class PlasmaStepper(Stepper):
     scenario = "plasma"
     coord_key = "t"
 
-    def __init__(self, config: RunConfig, timer=None) -> None:
+    def __init__(self, config: RunConfig, timer=None, engine=None) -> None:
         self.grid = _make_grid(config)
         self.driver = PlasmaVlasovPoisson(
-            self.grid, scheme=config.scheme, timer=timer
+            self.grid, scheme=config.scheme, timer=timer, engine=engine
         )
         p = config.params
         f0 = _maxwellian(self.grid) * _cosine_perturbation(
@@ -193,6 +203,10 @@ class PlasmaStepper(Stepper):
         self.driver.time = float(header["time"])
         self.index = int(header["step"])
 
+    def rescale_dt(self, factor: float) -> bool:
+        self.dt *= float(factor)
+        return True
+
 
 class GravitationalStepper(Stepper):
     """Static self-gravitating matter on a fixed-dt schedule."""
@@ -200,7 +214,7 @@ class GravitationalStepper(Stepper):
     scenario = "gravitational"
     coord_key = "t"
 
-    def __init__(self, config: RunConfig, timer=None) -> None:
+    def __init__(self, config: RunConfig, timer=None, engine=None) -> None:
         self.grid = _make_grid(config)
         p = config.params
         self.driver = GravitationalVlasovPoisson(
@@ -208,6 +222,7 @@ class GravitationalStepper(Stepper):
             g_newton=float(p.get("g_newton", 1.0)),
             scheme=config.scheme,
             timer=timer,
+            engine=engine,
         )
         sigma = float(p.get("sigma_v", 1.0))
         rho0 = float(p.get("rho0", 1.0))
@@ -254,14 +269,22 @@ class GravitationalStepper(Stepper):
         self.driver.a = float(header["a"])
         self.index = int(header["step"])
 
+    def rescale_dt(self, factor: float) -> bool:
+        self.dt *= float(factor)
+        return True
+
 
 class HybridStepper(Stepper):
-    """Hybrid Vlasov + N-body driver on a scale-factor ladder."""
+    """Hybrid Vlasov + N-body driver on a scale-factor ladder.
+
+    The hybrid driver manages its own kernels, so the runner's engine
+    config does not apply (``engine`` is accepted and ignored).
+    """
 
     scenario = "hybrid"
     coord_key = "a"
 
-    def __init__(self, config: RunConfig, timer=None) -> None:
+    def __init__(self, config: RunConfig, timer=None, engine=None) -> None:
         s = config.schedule
         p = config.params
         g = config.grid
@@ -329,13 +352,35 @@ _STEPPERS = {
 }
 
 
-def build_stepper(config: RunConfig, timer=None) -> Stepper:
+def build_stepper(config: RunConfig, timer=None, engine=None) -> Stepper:
     """Instantiate the stepper for a validated config."""
     try:
         cls = _STEPPERS[config.scenario]
     except KeyError:
         raise ValueError(f"unknown scenario {config.scenario!r}") from None
-    return cls(config, timer=timer)
+    return cls(config, timer=timer, engine=engine)
+
+
+def build_engine(config: RunConfig):
+    """Build the configured :class:`~repro.perf.pencil.PencilEngine`.
+
+    Returns ``None`` for ``engine.backend = "off"`` (the drivers run
+    their plain serial kernels).  The caller owns the engine's lifetime
+    (``close()`` — the runner does this in its ``finally``).
+    """
+    e = config.engine
+    if e.backend == "off":
+        return None
+    from ..perf.pencil import PencilEngine
+
+    return PencilEngine(
+        n_workers=e.n_workers,
+        backend=e.backend,
+        min_shard_bytes=e.min_shard_bytes,
+        max_retries=e.max_retries,
+        backoff_base=e.backoff_base,
+        task_timeout=e.task_timeout,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -31,13 +31,26 @@ schema documented in ``docs/RUNTIME.md``; the tests assert the match):
     Peak resident set size of the process so far [MB].
 ``guards``
     Guard reports fired this step (empty list when healthy).
+
+Besides the per-step records the stream also carries **event records**
+(fault injections, worker-pool degradations, checkpoint quarantines,
+rollback attempts): one JSON object per event with an ``"event"`` key
+naming the kind plus free-form fields.  Events interleave with step
+records in arrival order; :func:`read_events` filters them back out and
+:func:`summarize` reports them separately, so the per-step schema stays
+strict.  Subsystems that cannot hold a writer (the pencil engine, the
+FFT backend) publish through the module-level sink installed by the
+runner (:func:`set_event_sink` / :func:`emit_event`); with no sink
+installed events are dropped, which keeps library use dependency-free.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -80,12 +93,57 @@ class _JsonSanitizer(json.JSONEncoder):
         return super().default(o)
 
 
+# ----------------------------------------------------------------------
+# the process-wide event sink
+# ----------------------------------------------------------------------
+
+_EVENT_SINK: Callable[..., None] | None = None
+
+
+def set_event_sink(sink: Callable[..., None] | None) -> Callable[..., None] | None:
+    """Install (or with ``None`` remove) the process-wide event sink.
+
+    The sink is called as ``sink(kind, **fields)``.  Returns the
+    previous sink so callers (the runner) can restore it on exit.
+    """
+    global _EVENT_SINK
+    previous = _EVENT_SINK
+    _EVENT_SINK = sink
+    return previous
+
+
+def emit_event(kind: str, /, **fields) -> None:
+    """Publish one event to the installed sink (no-op without one).
+
+    Never raises: telemetry must not be able to take down the
+    simulation it is observing.
+    """
+    sink = _EVENT_SINK
+    if sink is None:
+        return
+    try:
+        sink(kind, **fields)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
 class TelemetryWriter:
     """Append-only JSONL writer with per-record flush."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._fh = open(self.path, "a", encoding="utf-8")
+
+    def event(self, kind: str, /, **fields) -> None:
+        """Write one event record (``{"event": kind, ...fields}``).
+
+        Events are schema-free apart from the ``event`` key and a
+        wall-clock ``when`` stamp; they interleave with step records and
+        are filtered back out by :func:`read_events`.
+        """
+        record = {"event": kind, "when": time.time(), **fields}
+        self._fh.write(json.dumps(record, cls=_JsonSanitizer) + "\n")
+        self._fh.flush()
 
     def append(self, record: dict) -> None:
         """Write one record (keys must match :data:`TELEMETRY_FIELDS`)."""
@@ -113,11 +171,29 @@ class TelemetryWriter:
 
 
 def read_telemetry(path: str | Path) -> list[dict]:
-    """Load every complete record of a telemetry stream.
+    """Load every complete *step* record of a telemetry stream.
 
     A trailing partial line (the process died mid-write) is skipped
     rather than raised on — exactly the case the format exists for.
+    Event records (see :func:`read_events`) are filtered out so every
+    returned record carries the full :data:`TELEMETRY_FIELDS` schema.
     """
+    return [r for r in _read_lines(path) if "event" not in r]
+
+
+def read_events(path: str | Path, kind: str | None = None) -> list[dict]:
+    """Load the event records of a telemetry stream, oldest first.
+
+    ``kind`` filters to one event kind (``"fault_injected"``,
+    ``"rollback"``, ``"engine_degraded"``, ...).
+    """
+    events = [r for r in _read_lines(path) if "event" in r]
+    if kind is not None:
+        events = [e for e in events if e["event"] == kind]
+    return events
+
+
+def _read_lines(path: str | Path) -> list[dict]:
     records: list[dict] = []
     text = Path(path).read_text(encoding="utf-8")
     for line in text.splitlines():
@@ -137,11 +213,22 @@ def summarize(path: str | Path) -> dict:
     Returns steps covered, total/median wall-clock per step, the final
     coordinate, worst drifts, cumulative I/O bytes, and cumulative FFT
     transform counts — the shape of the paper's per-run reporting
-    (end-to-end time *including I/O*).
+    (end-to-end time *including I/O*).  Fault-tolerance activity is
+    reported alongside: ``events`` counts every event record by kind
+    (fault injections, engine degradations, quarantines) and
+    ``recoveries`` counts completed rollback restores.
     """
-    records = read_telemetry(path)
+    all_records = _read_lines(path)
+    records = [r for r in all_records if "event" not in r]
+    events = [r for r in all_records if "event" in r]
     if not records:
-        return {"steps": 0}
+        if not events:
+            return {"steps": 0}
+        by_kind: dict[str, int] = {}
+        for e in events:
+            by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
+        return {"steps": 0, "events": by_kind,
+                "recoveries": by_kind.get("rollback", 0)}
     walls = [r["wall_s"] for r in records]
     worst: dict[str, float] = {}
     for r in records:
@@ -149,7 +236,7 @@ def summarize(path: str | Path) -> dict:
             drift = row["drift"] if isinstance(row, dict) else row
             worst[key] = max(worst.get(key, 0.0), drift)
     last = records[-1]
-    return {
+    summary = {
         "steps": len(records),
         "first_step": records[0]["step"],
         "last_step": last["step"],
@@ -162,3 +249,10 @@ def summarize(path: str | Path) -> dict:
         "rss_mb": last["rss_mb"],
         "guard_events": sum(len(r["guards"]) for r in records),
     }
+    if events:
+        by_kind = {}
+        for e in events:
+            by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
+        summary["events"] = by_kind
+        summary["recoveries"] = by_kind.get("rollback", 0)
+    return summary

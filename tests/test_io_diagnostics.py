@@ -168,7 +168,7 @@ class TestCheckpoint:
             extra={"scenario": "plasma", "schedule_index": 7},
         )
         _, _, _, header = read_checkpoint(path)
-        assert header["version"] == 2
+        assert header["version"] == 3
         assert header["time"] == 1.25
         assert header["extra"] == {"scenario": "plasma", "schedule_index": 7}
 
