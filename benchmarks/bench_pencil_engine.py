@@ -11,7 +11,10 @@ Sizes:
 
 * default: 16^3 x 8^3 (2M cells, laptop-friendly);
 * ``REPRO_BENCH_FULL=1``: the acceptance workload 32^3 x 16^3
-  (134M cells, ~0.5 GiB per f copy).
+  (134M cells, ~0.5 GiB per f copy);
+* ``REPRO_BENCH_SMOKE=1``: 8^3 x 6^3 in seconds, timing gates and the
+  result-file write disabled — the CI smoke job that keeps every entry
+  point executable (the bitwise check still gates).
 
 Acceptance (ISSUE 1): with >= 2 available cores, the sharded Strang
 step must run >= 1.5x faster than serial and be bitwise identical.  On
@@ -38,6 +41,7 @@ from repro.perf import PencilEngine
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_ENABLED = os.environ.get("REPRO_BENCH", "") == "1"
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 pytestmark = [
     pytest.mark.bench,
@@ -55,7 +59,10 @@ def _cores() -> int:
 
 
 def _grid() -> PhaseSpaceGrid:
-    n, m = (32, 16) if FULL else (16, 8)
+    if SMOKE:
+        n, m = 8, 6  # velocity axes must fit the order-5 stencil
+    else:
+        n, m = (32, 16) if FULL else (16, 8)
     return PhaseSpaceGrid(
         nx=(n, n, n), nu=(m, m, m), box_size=100.0, v_max=3.0
     )
@@ -120,15 +127,18 @@ def run_pencil_bench(n_workers: int | None = None, repeats: int = 3) -> dict:
 
 
 def test_pencil_engine_speedup_and_identity():
-    repeats = 3 if FULL else 5
+    repeats = 1 if SMOKE else (3 if FULL else 5)
     record = run_pencil_bench(repeats=repeats)
     text = json.dumps(record, indent=2)
     print(f"\n===== BENCH_pencil =====\n{text}")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_pencil.json").write_text(text + "\n")
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_pencil.json").write_text(text + "\n")
 
     assert record["bitwise_identical"], "sharded step diverged from serial"
-    if record["cores_available"] >= 2:
+    if SMOKE:
+        print("smoke mode: timing gates skipped")
+    elif record["cores_available"] >= 2:
         assert record["speedup"] >= 1.5, (
             f"sharded Strang step only {record['speedup']:.2f}x faster "
             f"(acceptance: >= 1.5x with {record['cores_available']} cores)"
@@ -142,9 +152,11 @@ def test_pencil_engine_speedup_and_identity():
 
 if __name__ == "__main__":
     os.environ.setdefault("REPRO_BENCH", "1")
-    rec = run_pencil_bench()
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_pencil.json").write_text(
-        json.dumps(rec, indent=2) + "\n"
-    )
+    rec = run_pencil_bench(repeats=1 if SMOKE else 3)
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_pencil.json").write_text(
+            json.dumps(rec, indent=2) + "\n"
+        )
     print(json.dumps(rec, indent=2))
+    assert rec["bitwise_identical"], "sharded step diverged from serial"

@@ -16,7 +16,10 @@ forward through the plan-cached scipy backend.  Three measurements:
 Results go to stdout and ``benchmarks/results/BENCH_poisson.json``.
 
 Opt-in job: skipped unless ``REPRO_BENCH=1`` (keeps tier-1 fast);
-``REPRO_BENCH_FULL=1`` adds the 1024^2 / 128^3 mesh workloads.
+``REPRO_BENCH_FULL=1`` adds the 1024^2 / 128^3 mesh workloads;
+``REPRO_BENCH_SMOKE=1`` shrinks everything to seconds and disables the
+timing gate and result-file writes (the CI smoke job — correctness
+cross-checks against the legacy composition still gate).
 
 Acceptance (ISSUE 2): the fused 2-D spectral force solve (the kick
 path — ``PeriodicPoissonSolver.acceleration``, which skips the phi
@@ -53,6 +56,7 @@ from repro.perf.fft import get_default_backend
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_ENABLED = os.environ.get("REPRO_BENCH", "") == "1"
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 pytestmark = [
     pytest.mark.bench,
@@ -137,9 +141,12 @@ def _transforms(dim: int, method: str) -> dict:
 
 
 def run_solve_bench(repeats: int = 7) -> list[dict]:
-    shapes = [(512, 512), (64, 64, 64)]
-    if FULL:
-        shapes += [(1024, 1024), (128, 128, 128)]
+    if SMOKE:
+        shapes = [(64, 64), (16, 16, 16)]
+    else:
+        shapes = [(512, 512), (64, 64, 64)]
+        if FULL:
+            shapes += [(1024, 1024), (128, 128, 128)]
     records = []
     for shape in shapes:
         solver = PeriodicPoissonSolver(shape, box_size=1.0)
@@ -184,8 +191,9 @@ def run_solve_bench(repeats: int = 7) -> list[dict]:
 
 
 def _plasma_driver(timer: StepTimer | None = None) -> PlasmaVlasovPoisson:
+    n_mesh, n_vel = (32, 4) if SMOKE else (128, 8)
     grid = PhaseSpaceGrid(
-        nx=(128, 128), nu=(8, 8), box_size=2 * np.pi, v_max=4.0,
+        nx=(n_mesh, n_mesh), nu=(n_vel, n_vel), box_size=2 * np.pi, v_max=4.0,
         dtype=np.float64,
     )
     vp = PlasmaVlasovPoisson(
@@ -234,7 +242,10 @@ def run_step_bench(repeats: int = 5) -> dict:
         for name in ("poisson", "poisson/moments", "poisson/fft", "poisson/grad")
     }
     return {
-        "workload": "128^2 x 8^2 float64 Strang step, slp3, spectral grad",
+        "workload": (
+            f"{vp.grid.nx[0]}^2 x {vp.grid.nu[0]}^2 float64 Strang step, "
+            f"slp3, spectral grad"
+        ),
         "n_cells": vp.grid.n_cells,
         "repeats": repeats,
         "legacy_field_step_s": t_legacy,
@@ -247,13 +258,13 @@ def run_step_bench(repeats: int = 5) -> dict:
 
 
 def run_poisson_bench(repeats: int | None = None) -> dict:
-    solve_repeats = repeats or (3 if FULL else 7)
+    solve_repeats = repeats or (1 if SMOKE else (3 if FULL else 7))
     record = {
         "cores_available": _cores(),
         "fft_library": get_default_backend().library,
         "fft_workers": get_default_backend().workers,
         "solve": run_solve_bench(solve_repeats),
-        "step": run_step_bench(3),
+        "step": run_step_bench(1 if SMOKE else 3),
     }
     return record
 
@@ -262,6 +273,9 @@ def test_fused_solve_speedup():
     record = run_poisson_bench()
     text = json.dumps(record, indent=2)
     print(f"\n===== BENCH_poisson =====\n{text}")
+    if SMOKE:
+        print("smoke mode: timing gate skipped")
+        return
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_poisson.json").write_text(text + "\n")
 
@@ -284,8 +298,9 @@ def test_fused_solve_speedup():
 if __name__ == "__main__":
     os.environ.setdefault("REPRO_BENCH", "1")
     rec = run_poisson_bench()
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_poisson.json").write_text(
-        json.dumps(rec, indent=2) + "\n"
-    )
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_poisson.json").write_text(
+            json.dumps(rec, indent=2) + "\n"
+        )
     print(json.dumps(rec, indent=2))

@@ -70,13 +70,13 @@ from __future__ import annotations
 import numpy as np
 
 from .limiters import (
+    minmod,
     mp_limit_departure_average,
     positivity_clamp_fraction,
     weno_smoothness,
 )
 from .stencil import (
     SUPPORTED_ORDERS,
-    evaluate_flux_coefficients,
     flux_coefficient_polynomials,
     weno_substencil_polynomials,
 )
@@ -109,6 +109,51 @@ SCHEMES: dict[str, SchemeSpec] = {
 
 _BCS = ("periodic", "zero")
 
+#: Uniform-shift fast paths: when the integer shift ``k`` is constant over
+#: the whole call (the common case — spatial sweeps carry one k per
+#: velocity slab, pencil shards see a single local bound), the prefix-sum
+#: lookup and the stencil gathers become roll/slice arithmetic instead of
+#: ``broadcast_to`` + ``take_along_axis`` index machinery.  Same ufuncs on
+#: the same values in the same order, so results are bitwise-identical;
+#: this module-wide switch exists so the equivalence tests can pin the
+#: gather path.
+UNIFORM_FAST = True
+
+#: Route the MP limiter and positivity clamp through pooled scratch
+#: (:func:`repro.core.limiters.mp_limit_departure_average`'s arena path).
+#: Off reproduces the seed execution path — every limiter temporary
+#: freshly allocated — with bitwise-identical results; the layout
+#: benchmark pins it off for its baseline and the equivalence tests
+#: assert the toggle changes nothing but wall clock.
+POOLED_LIMITER = True
+
+#: process-wide advisory counters: sweeps that hit the uniform-k fast
+#: path vs. sweeps that fell back to the gather path.
+_FASTPATH = {"uniform_k": 0, "gather_k": 0}
+
+
+def fastpath_counters() -> dict[str, int]:
+    """Snapshot of the uniform-k fast-path hit counters."""
+    return dict(_FASTPATH)
+
+
+def reset_fastpath_counters() -> None:
+    """Zero the fast-path hit counters (benchmarks/tests)."""
+    for key in _FASTPATH:
+        _FASTPATH[key] = 0
+
+
+def _uniform_int(k: np.ndarray) -> int | None:
+    """The single integer shift when ``k`` is constant, else None.
+
+    ``k`` has size 1 along the advected axis, so this scan touches only
+    the (small) non-advected profile of the shift.
+    """
+    if k.size == 1:
+        return int(k.reshape(-1)[0])
+    kmin = k.min()
+    return int(kmin) if kmin == k.max() else None
+
 
 def _scratch(arena, key, shape, dtype) -> np.ndarray:
     """Uninitialized work buffer — pooled when an arena is supplied."""
@@ -138,6 +183,7 @@ def advect(
     bc: str = "periodic",
     out: np.ndarray | None = None,
     arena=None,
+    layout=None,
 ) -> np.ndarray:
     """Advance one directional advection by a (possibly >1) CFL shift.
 
@@ -163,6 +209,18 @@ def advect(
         Optional :class:`repro.perf.arena.ScratchArena` supplying the
         internal work buffers.  One arena must serve one caller at a
         time (give each worker thread/process its own).
+    layout:
+        Sweep-layout policy — the LAT analog (paper §5.4).  ``None`` or
+        ``"in_place"`` runs on the strided ``moveaxis`` view as always;
+        ``"auto"`` lets the process-default
+        :class:`repro.perf.layout.LayoutEngine` decide from stride and
+        size whether to pack the advected axis into contiguous scratch
+        (cache-blocked transpose in, update fused with the transpose
+        back); ``"packed"`` forces packing where structurally possible
+        (pencil workers use this — the decision was already made for the
+        whole sweep); a :class:`~repro.perf.layout.LayoutEngine`
+        instance decides *and records* (counters, telemetry, timer
+        sections).  Every mode is bitwise-identical.
 
     Returns
     -------
@@ -184,8 +242,18 @@ def advect(
 
     sh = _normalize_shift(sh=shift, f=f, fw=fw, axis=axis)
 
+    mode, lay = _resolve_layout(layout, f, fw, sh, axis)
+    packed = mode == "packed"
+    if packed and bc == "periodic":
+        # LAT analog: land the axis-last view in contiguous scratch so
+        # every kernel below runs on unit-stride memory.
+        fw = lay.pack(fw, arena)
+
     if bc == "zero":
-        fw, pad_l, pad_r = _zero_pad(fw, sh, spec, arena)
+        # the ghost pad already copies f into contiguous scratch — in
+        # packed mode it *is* the pack, done with the blocked kernel
+        fw, pad_l, pad_r = _zero_pad(fw, sh, spec, arena,
+                                     engine=lay if packed else None)
 
     flux = interface_flux(fw, sh, spec, arena)
 
@@ -209,8 +277,51 @@ def advect(
             f"out has shape {out.shape}/{out.dtype}, "
             f"result needs {res_shape}/{fw.dtype}"
         )
-    np.subtract(fw, d, out=np.moveaxis(out, ax, -1))
+    out_w = np.moveaxis(out, ax, -1)
+    if packed:
+        # fused unpack: the flux-difference update writes the strided
+        # output through the blocked transpose-back (bitwise the same
+        # elementwise subtract)
+        lay.unpack_subtract(fw, d, out_w)
+    else:
+        np.subtract(fw, d, out=out_w)
     return out
+
+
+def _layout_eligible(fw: np.ndarray, sh: np.ndarray) -> bool:
+    """Packing requires the update to keep f's own shape.
+
+    The packed buffer has ``fw``'s shape, so the shift must not
+    broadcast-expand the result (solver sweeps never do); 1-D arrays
+    and already-contiguous views gain nothing either way but stay
+    structurally fine — the engine's stride test rejects them.
+    """
+    if fw.ndim < 2:
+        return False
+    return all(s == 1 or s == t for s, t in zip(sh.shape, fw.shape))
+
+
+def _resolve_layout(layout, f, fw, sh, axis):
+    """Map ``layout=`` to ("in_place" | "packed", engine-or-None)."""
+    if layout is None or layout == "in_place":
+        return "in_place", None
+    from ..perf.layout import LayoutEngine, get_default_layout
+
+    if isinstance(layout, LayoutEngine):
+        return layout.decide(f, axis, eligible=_layout_eligible(fw, sh)), layout
+    if layout == "auto":
+        eng = get_default_layout()
+        return eng.decide(f, axis, eligible=_layout_eligible(fw, sh)), eng
+    if layout == "packed":
+        # forced mode (pencil workers): no decision recording — the
+        # engine that sharded this sweep already recorded it
+        eng = get_default_layout()
+        mode = "packed" if _layout_eligible(fw, sh) else "in_place"
+        return mode, eng
+    raise ValueError(
+        f"unknown layout {layout!r}; choose from ('auto', 'packed', "
+        "'in_place', None) or pass a LayoutEngine"
+    )
 
 
 def _normalize_shift(sh, f, fw, axis) -> np.ndarray:
@@ -246,7 +357,7 @@ def _normalize_shift(sh, f, fw, axis) -> np.ndarray:
     return sh
 
 
-def _zero_pad(fw, sh, spec, arena=None):
+def _zero_pad(fw, sh, spec, arena=None, engine=None):
     """Pad with the narrowest zero ghost layers this call needs.
 
     The pad is sized from the *per-call* bound: the largest integer
@@ -265,7 +376,11 @@ def _zero_pad(fw, sh, spec, arena=None):
     n = fw.shape[-1]
     padded = _scratch(arena, ("pad", "f"), fw.shape[:-1] + (n + pad_l + pad_r,), fw.dtype)
     padded[..., :pad_l] = 0
-    padded[..., pad_l : pad_l + n] = fw
+    if engine is not None:
+        # packed layout: the interior copy is the pack — do it blocked
+        engine.pack_into(padded[..., pad_l : pad_l + n], fw)
+    else:
+        padded[..., pad_l : pad_l + n] = fw
     padded[..., pad_l + n :] = 0
     return padded, pad_l, pad_r
 
@@ -308,11 +423,17 @@ def _mirror_flux(fw, sh, spec, arena=None):
     g = fw[..., ::-1]
     gs = -(sh[..., ::-1] if sh.shape[-1] != 1 else sh)
     fg = _flux_positive(g, gs, spec, arena, "neg")
+    # one fused pass: negate straight out of the (unreversed) mirror
+    # flux into the rolled slots, instead of copy-then-negate.  The
+    # wrap slot flips sign via * -1.0 — bitwise the same flip (IEEE
+    # multiplication by -1 is exact, including signed zeros) — because
+    # this platform's float64 np.negative miscomputes on row-stride
+    # hyperplane views (stride exactly 64 bytes); the bulk negation's
+    # kernel stride is +-itemsize and unaffected.
     rev = fg[..., ::-1]
     out = _scratch(arena, ("neg", "mirror"), fg.shape, fg.dtype)
-    out[..., :-1] = rev[..., 1:]
-    out[..., -1] = rev[..., 0]
-    np.negative(out, out=out)
+    np.negative(rev[..., 1:], out=out[..., :-1])
+    np.multiply(fg[..., -1], -1.0, out=out[..., -1])
     return out
 
 
@@ -321,13 +442,17 @@ def _flux_positive(fw, sh, spec, arena=None, tag="pos"):
     k = np.floor(sh).astype(np.int64)
     alpha = (sh - k).astype(fw.dtype)
 
-    flux = _integer_mass(fw, k, arena, tag)
-    st = _gather_stencil(fw, k, spec.order, widen=spec.use_mp, arena=arena, tag=tag)
+    kc = _uniform_int(k) if UNIFORM_FAST else None
+    _FASTPATH["uniform_k" if kc is not None else "gather_k"] += 1
+
+    flux = _integer_mass(fw, k, arena, tag, kc=kc)
+    st = _gather_stencil(fw, k, spec.order, widen=spec.use_mp, arena=arena,
+                         tag=tag, kc=kc)
     flux += _fractional_flux(st, alpha, spec, arena, tag)
     return flux
 
 
-def _integer_mass(fw, k, arena=None, tag="pos"):
+def _integer_mass(fw, k, arena=None, tag="pos", kc=None):
     """S(i, k) = mass of the k whole cells upstream of interface i+1/2.
 
     Uses extended prefix sums: S = C(i) - C_ext(i-k) with
@@ -343,16 +468,34 @@ def _integer_mass(fw, k, arena=None, tag="pos"):
     hence the flux) in float64 defers the cast to the *telescoped
     difference* of neighboring fluxes — a cell-scale quantity — which
     ``advect`` rounds back to the storage dtype exactly once.
+
+    ``kc`` (from :func:`_uniform_int`) enables the uniform-shift fast
+    path: for constant k the extended-index lookup ``C_ext(i - k)`` is a
+    rotation of C plus a whole number of wraps, so two slice copies
+    replace the ``q``/``wraps``/``qmod`` index arrays and the
+    ``take_along_axis`` gather — same multiply/add/subtract ufuncs on
+    the same values in the same order, bitwise-identical.
     """
     n = fw.shape[-1]
     out_shape = np.broadcast_shapes(fw.shape, k.shape[:-1] + (n,))
     out = _scratch(arena, (tag, "int_mass"), out_shape, np.float64)
-    if np.all(k == 0):
+    if kc == 0 or (kc is None and np.all(k == 0)):
         out[...] = 0
         return out
     csum = _scratch(arena, (tag, "csum"), fw.shape, np.float64)
     np.cumsum(fw, axis=-1, dtype=np.float64, out=csum)
     total = csum[..., -1:]
+    if kc is not None and out_shape == fw.shape:
+        # q = i - kc splits at i = r (kc = w*n + r, 0 <= r < n):
+        # i <  r: wraps = -(w+1), qmod = i - r + n
+        # i >= r: wraps = -w,     qmod = i - r
+        w, r = divmod(kc, n)
+        np.multiply(total, -(w + 1), out=out[..., :r])
+        np.multiply(total, -w, out=out[..., r:])
+        out[..., :r] += csum[..., n - r :]
+        out[..., r:] += csum[..., : n - r]
+        np.subtract(csum, out, out=out)
+        return out
     i = np.arange(n, dtype=np.int64)
     q = i - k  # broadcasts to (..., n)
     wraps = q // n
@@ -375,18 +518,24 @@ def _roll_into(dst, src, s):
         dst[..., s:] = src[..., : n - s]
 
 
-def _gather_stencil(fw, k, order, widen=False, arena=None, tag="pos"):
+def _gather_stencil(fw, k, order, widen=False, arena=None, tag="pos", kc=None):
     """Cell averages around the donor cell j = i - k for every interface.
 
     Returns array of shape ``(width,) + broadcast(fw, k)`` with the donor
     cell at the center index; ``width`` is ``order`` widened to at least 5
     when the MP limiter needs the full 5-cell neighborhood.
+
+    A constant integer shift (``kc`` from :func:`_uniform_int`, or any
+    size-1 ``k``) turns every gather into a roll — two slice copies per
+    stencil row instead of a full ``take_along_axis`` with an index
+    array, reading memory sequentially instead of permuted.
     """
     n = fw.shape[-1]
     width = max(order, 5) if widen else order
     r = (width - 1) // 2
-    if k.size == 1:
+    if kc is None and k.size == 1:
         kc = int(k.reshape(-1)[0])
+    if kc is not None and np.broadcast_shapes(fw.shape, k.shape[:-1] + (n,)) == fw.shape:
         st = _scratch(arena, (tag, "stencil"), (width,) + fw.shape, fw.dtype)
         for m in range(width):
             _roll_into(st[m], fw, kc - (m - r))
@@ -408,18 +557,35 @@ def _fractional_flux(st, alpha, spec, arena=None, tag="pos"):
     width = st.shape[0]
     center = (width - 1) // 2
     if use_weno:
-        phi = _weno_fractional(st, alpha)
+        phi = _weno_fractional(st, alpha, arena, tag)
     elif use_pfc:
-        phi = _pfc_fractional(st, alpha)
+        phi = _pfc_fractional(st, alpha, arena, tag)
     else:
-        coef = evaluate_flux_coefficients(order, alpha)
+        poly = flux_coefficient_polynomials(order)
         lo = center - (order - 1) // 2
         pshape = np.broadcast_shapes(st.shape[1:], alpha.shape)
         phi = _scratch(arena, (tag, "phi"), pshape, st.dtype)
         term = _scratch(arena, (tag, "phi_term"), pshape, st.dtype)
+        # Fused Horner pass: evaluate each cell's coefficient polynomial
+        # c_m(alpha) in place and accumulate its term immediately —
+        # no (order,) + shape coefficient stack, two alpha-sized
+        # buffers total.  Replays evaluate_flux_coefficients bit for
+        # bit: with float32 alpha the leading product rounds in
+        # float32, the first add promotes to float64 (NEP 50 strong
+        # scalar), the remaining steps stay float64, and one cast back
+        # to the working dtype precedes the stencil multiply.
+        c_work = _scratch(arena, (tag, "phi_cw"), alpha.shape, alpha.dtype)
+        c_acc = _scratch(arena, (tag, "phi_ca"), alpha.shape, np.float64)
         phi[...] = 0
         for m in range(order):
-            np.multiply(coef[m], st[lo + m], out=term)
+            c_work[...] = poly[m, -1]
+            np.multiply(c_work, alpha, out=c_work)
+            np.add(c_work, poly[m, order - 1], out=c_acc)
+            for dgr in range(order - 2, -1, -1):
+                np.multiply(c_acc, alpha, out=c_acc)
+                np.add(c_acc, poly[m, dgr], out=c_acc)
+            c_work[...] = c_acc
+            np.multiply(c_work, st[lo + m], out=term)
             phi += term
 
     if use_mp:
@@ -435,15 +601,50 @@ def _fractional_flux(st, alpha, spec, arena=None, tag="pos"):
         # for any alpha in [0, 1].
         pos = alpha > 0.0
         safe_alpha = np.where(pos, alpha, np.asarray(1.0, dtype=st.dtype))
-        u = phi / safe_alpha
-        u = mp_limit_departure_average(u, alpha, st5)
-        phi = np.where(pos, safe_alpha * u, phi)
+        if POOLED_LIMITER:
+            # the full-size quotient, limiter temporaries and masked
+            # recombination all run through pooled scratch (ufunc-for-
+            # ufunc replay of the allocating form — same bits, no
+            # allocator churn)
+            u = _scratch(
+                arena, (tag, "mp_u"),
+                np.broadcast_shapes(phi.shape, safe_alpha.shape),
+                np.result_type(phi, safe_alpha),
+            )
+            np.divide(phi, safe_alpha, out=u)
+            u = mp_limit_departure_average(
+                u, alpha, st5, arena=arena, tag=(tag, "mp")
+            )
+            lim = _scratch(
+                arena, (tag, "mp_lim"),
+                np.broadcast_shapes(safe_alpha.shape, u.shape),
+                np.result_type(safe_alpha, u),
+            )
+            np.multiply(safe_alpha, u, out=lim)
+            sel = _scratch(
+                arena, (tag, "mp_sel"),
+                np.broadcast_shapes(pos.shape, lim.shape, phi.shape),
+                np.result_type(lim, phi),
+            )
+            # np.where(pos, lim, phi), replayed as fill + masked overwrite
+            np.copyto(sel, phi)
+            np.copyto(sel, lim, where=pos)
+            phi = sel
+        else:
+            u = phi / safe_alpha
+            u = mp_limit_departure_average(u, alpha, st5)
+            phi = np.where(pos, safe_alpha * u, phi)
     if use_pos:
-        phi = positivity_clamp_fraction(phi, st[center])
+        if POOLED_LIMITER:
+            phi = positivity_clamp_fraction(
+                phi, st[center], arena=arena, tag=(tag, "clamp")
+            )
+        else:
+            phi = positivity_clamp_fraction(phi, st[center])
     return phi
 
 
-def _pfc_fractional(st, alpha):
+def _pfc_fractional(st, alpha, arena=None, tag="pos"):
     """Filbet-style positive-flux-conservative fractional flux.
 
     Piecewise-linear reconstruction with the minmod slope: 2nd-order,
@@ -451,28 +652,67 @@ def _pfc_fractional(st, alpha):
     SL-MPP5 family improves upon (used as an ablation baseline).
 
     phi(alpha) = alpha * (f_j + (1 - alpha)/2 * slope).
-    """
-    from .limiters import minmod
 
+    Every temporary of the expression (and of the inlined
+    :func:`~repro.core.limiters.minmod`) lives in pooled scratch; the
+    ufunc sequence replays the allocating form operation for operation,
+    so the result is bitwise-identical.
+    """
     center = (st.shape[0] - 1) // 2
     fm1, f0, fp1 = st[center - 1], st[center], st[center + 1]
-    slope = minmod(fp1 - f0, f0 - fm1)
-    return alpha * (f0 + 0.5 * (1.0 - alpha) * slope)
+    sshape = st.shape[1:]
+    pshape = np.broadcast_shapes(sshape, alpha.shape)
+    a = _scratch(arena, (tag, "pfc_a"), sshape, st.dtype)
+    b = _scratch(arena, (tag, "pfc_b"), sshape, st.dtype)
+    slope = _scratch(arena, (tag, "pfc_slope"), sshape, st.dtype)
+    sb = _scratch(arena, (tag, "pfc_sb"), sshape, st.dtype)
+    np.subtract(fp1, f0, out=a)
+    np.subtract(f0, fm1, out=b)
+    # minmod(a, b) = 0.5*(sign(a)+sign(b)) * min(|a|, |b|), fused in place
+    np.sign(a, out=slope)
+    np.sign(b, out=sb)
+    np.add(slope, sb, out=slope)
+    np.multiply(slope, 0.5, out=slope)
+    np.abs(a, out=a)
+    np.abs(b, out=b)
+    np.minimum(a, b, out=a)
+    np.multiply(slope, a, out=slope)
+    # phi = alpha * (f0 + 0.5*(1 - alpha) * slope)
+    w = _scratch(arena, (tag, "pfc_w"), alpha.shape, alpha.dtype)
+    np.subtract(1.0, alpha, out=w)
+    np.multiply(w, 0.5, out=w)
+    phi = _scratch(arena, (tag, "phi"), pshape, st.dtype)
+    np.multiply(w, slope, out=phi)
+    np.add(f0, phi, out=phi)
+    np.multiply(alpha, phi, out=phi)
+    return phi
 
 
-def _weno_fractional(st, alpha):
-    """Semi-Lagrangian WENO-5 fractional flux (Qiu & Christlieb 2010)."""
+def _weno_fractional(st, alpha, arena=None, tag="pos"):
+    """Semi-Lagrangian WENO-5 fractional flux (Qiu & Christlieb 2010).
+
+    The full-array float64 temporaries — three sub-stencil fluxes, the
+    per-term products, the smoothness/weight fields and the final blend
+    — run through pooled scratch; each pooled ufunc replays the
+    allocating expression's operation order exactly, so the result is
+    bitwise-identical.  (The small alpha-shaped polynomial evaluations
+    stay plain allocations: the shift profile is tiny next to f.)
+    """
     polyval = np.polynomial.polynomial.polyval
     sub = weno_substencil_polynomials()  # (3, 5, 4)
     p5 = flux_coefficient_polynomials(5)  # (5, 6)
 
     a = alpha.astype(np.float64)
+    pshape = np.broadcast_shapes(st.shape[1:], alpha.shape)
+    term = _scratch(arena, (tag, "weno_term"), pshape, np.float64)
     phis = []
     for s in range(3):
-        acc = np.zeros(np.broadcast_shapes(st.shape[1:], alpha.shape))
+        acc = _scratch(arena, (tag, "weno_acc", s), pshape, np.float64)
+        acc[...] = 0.0
         for m in range(5):
             if np.any(sub[s, m] != 0.0):
-                acc = acc + polyval(a, sub[s, m]) * st[m]
+                np.multiply(polyval(a, sub[s, m]), st[m], out=term)
+                acc += term
         phis.append(acc)
 
     # alpha-dependent ideal weights: match the outermost-cell coefficients
@@ -489,11 +729,31 @@ def _weno_fractional(st, alpha):
     d2 = np.clip(d2, 0.0, 1.0)
     d1 = np.clip(1.0 - d0 - d2, 0.0, 1.0)
 
-    beta = weno_smoothness(st).astype(np.float64)
+    bshape = st.shape[1:]
+    beta32 = weno_smoothness(st)
+    beta = _scratch(arena, (tag, "weno_beta"), beta32.shape, np.float64)
+    beta[...] = beta32
     eps = 1.0e-6
-    w0 = d0 / (eps + beta[0]) ** 2
-    w1 = d1 / (eps + beta[1]) ** 2
-    w2 = d2 / (eps + beta[2]) ** 2
-    wsum = w0 + w1 + w2
-    phi = (w0 * phis[0] + w1 * phis[1] + w2 * phis[2]) / wsum
-    return phi.astype(st.dtype)
+    wden = _scratch(arena, (tag, "weno_wden"), bshape, np.float64)
+    ws = []
+    for idx, dd in enumerate((d0, d1, d2)):
+        w = _scratch(arena, (tag, "weno_w", idx),
+                     np.broadcast_shapes(dd.shape, bshape), np.float64)
+        np.add(eps, beta[idx], out=wden)
+        np.power(wden, 2, out=wden)
+        np.divide(dd, wden, out=w)
+        ws.append(w)
+    w0, w1, w2 = ws
+    wsum = _scratch(arena, (tag, "weno_wsum"), w0.shape, np.float64)
+    np.add(w0, w1, out=wsum)
+    np.add(wsum, w2, out=wsum)
+    num = _scratch(arena, (tag, "weno_num"), pshape, np.float64)
+    np.multiply(w0, phis[0], out=num)
+    np.multiply(w1, phis[1], out=term)
+    num += term
+    np.multiply(w2, phis[2], out=term)
+    num += term
+    np.divide(num, wsum, out=num)
+    phi = _scratch(arena, (tag, "phi"), pshape, st.dtype)
+    phi[...] = num
+    return phi

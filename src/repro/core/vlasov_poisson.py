@@ -34,6 +34,7 @@ from .vlasov import VlasovSolver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..diagnostics.timers import StepTimer
+    from ..perf.layout import LayoutEngine
     from ..perf.pencil import PencilEngine
 
 
@@ -61,11 +62,13 @@ class PlasmaVlasovPoisson:
     gradient_method: str = "spectral"
     engine: "PencilEngine | None" = None
     timer: "StepTimer | None" = None
+    layout: "LayoutEngine | str | None" = "auto"
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         self.solver = VlasovSolver(
-            self.grid, scheme=self.scheme, engine=self.engine, timer=self.timer
+            self.grid, scheme=self.scheme, engine=self.engine,
+            timer=self.timer, layout=self.layout,
         )
         self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
 
@@ -185,11 +188,13 @@ class GravitationalVlasovPoisson:
     a: float = 1.0
     engine: "PencilEngine | None" = None
     timer: "StepTimer | None" = None
+    layout: "LayoutEngine | str | None" = "auto"
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         self.solver = VlasovSolver(
-            self.grid, scheme=self.scheme, engine=self.engine, timer=self.timer
+            self.grid, scheme=self.scheme, engine=self.engine,
+            timer=self.timer, layout=self.layout,
         )
         self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
 

@@ -153,7 +153,7 @@ def _pencil_worker(task) -> None:
     if _WORKER_ARENA is None:
         _WORKER_ARENA = ScratchArena()
     (in_name, out_name, shape, dtype, shard_axis, start, stop,
-     shift, axis, scheme, bc) = task
+     shift, axis, scheme, bc, layout) = task
     shm_in = _attach_shm(in_name)
     shm_out = _attach_shm(out_name)
     try:
@@ -164,7 +164,7 @@ def _pencil_worker(task) -> None:
             for d in range(len(shape))
         )
         advect(f[idx], shift, axis, scheme=scheme, bc=bc,
-               out=out[idx], arena=_WORKER_ARENA)
+               out=out[idx], arena=_WORKER_ARENA, layout=layout)
     finally:
         shm_in.close()
         shm_out.close()
@@ -318,6 +318,31 @@ class PencilEngine:
             return None
         return shard_axis, parts
 
+    def _resolve_sweep_layout(self, f: np.ndarray, axis: int, layout) -> str:
+        """Decide the sweep's layout once, centrally.
+
+        The deciding engine records counters/telemetry for the *whole*
+        sweep; workers then receive the resolved mode as a forced string
+        (``"packed"``/``None``), which :func:`advect` applies without
+        recording — one sweep, one decision, however many pencils.
+        Each packed worker copies its shard into contiguous scratch
+        exactly once and runs every kernel stage on that copy.
+        """
+        if layout is None:
+            return "in_place"
+        from .layout import LayoutEngine, get_default_layout
+
+        eligible = f.ndim >= 2
+        if isinstance(layout, LayoutEngine):
+            return layout.decide(f, axis, eligible=eligible)
+        if layout == "in_place":
+            return "in_place"
+        if layout == "packed":
+            return "packed" if eligible else "in_place"
+        if layout == "auto":
+            return get_default_layout().decide(f, axis, eligible=eligible)
+        raise ValueError(f"unknown layout {layout!r}")
+
     @staticmethod
     def _slice_shift(sh: np.ndarray, shard_axis: int, sl: slice):
         if sh.ndim and sh.shape[shard_axis] != 1:
@@ -338,6 +363,7 @@ class PencilEngine:
         bc: str = "periodic",
         out: np.ndarray | None = None,
         shard_axis: int | None = None,
+        layout=None,
     ) -> np.ndarray:
         """Sharded equivalent of :func:`repro.core.advection.advect`.
 
@@ -345,6 +371,13 @@ class PencilEngine:
         engine requires the result shape to equal ``f.shape`` (shift
         axes of size 1 or matching f), which is the solver's case; an
         exotic broadcast falls back to the serial kernel.
+
+        ``layout`` follows :func:`advect`'s parameter: ``None``,
+        ``"auto"``/``"packed"``/``"in_place"``, or a
+        :class:`~repro.perf.layout.LayoutEngine`.  The decision is made
+        once per sweep on the full array (its strides are representative
+        — sharding never slices the advected axis) and the resolved mode
+        is forced onto every pencil.
         """
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}")
@@ -361,8 +394,10 @@ class PencilEngine:
             self.last_plan = None
             return advect(
                 f, shift, axis, scheme=scheme, bc=bc, out=out,
-                arena=self._arena(0),
+                arena=self._arena(0), layout=layout,
             )
+        mode = self._resolve_sweep_layout(f, axis, layout)
+        lay = "packed" if mode == "packed" else None
         shard, parts = plan
         slices = pencil_slices(f.shape[shard], parts)
         if out is None:
@@ -376,11 +411,12 @@ class PencilEngine:
             "backend": self.backend,
             "shard_axis": shard,
             "n_pencils": len(slices),
+            "layout": mode,
         }
         if self.backend == "threads":
-            self._run_threads(f, sh, axis, scheme, bc, out, shard, slices)
+            self._run_threads(f, sh, axis, scheme, bc, out, shard, slices, lay)
         else:
-            self._run_processes(f, sh, axis, scheme, bc, out, shard, slices)
+            self._run_processes(f, sh, axis, scheme, bc, out, shard, slices, lay)
         return out
 
     # -- supervision ----------------------------------------------------
@@ -417,15 +453,18 @@ class PencilEngine:
         )
         self.backend = fallback
 
-    def _run_serial(self, f, sh, axis, scheme, bc, out) -> None:
+    def _run_serial(self, f, sh, axis, scheme, bc, out, lay=None) -> None:
         """Last-resort path: the plain serial kernel (same bits)."""
         self.last_plan = None
         advect(f, sh, axis, scheme=scheme, bc=bc, out=out,
-               arena=self._arena(0))
+               arena=self._arena(0), layout=lay)
 
-    def _run_threads(self, f, sh, axis, scheme, bc, out, shard, slices):
+    def _run_threads(self, f, sh, axis, scheme, bc, out, shard, slices,
+                     lay=None):
         try:
-            self._threads_sweep(f, sh, axis, scheme, bc, out, shard, slices)
+            self._threads_sweep(
+                f, sh, axis, scheme, bc, out, shard, slices, lay
+            )
         except (BrokenExecutor, SweepTimeout) as exc:
             # Thread pools don't lose workers; the only infra failure is
             # a stall past task_timeout — no point retrying a stall on
@@ -434,9 +473,10 @@ class PencilEngine:
             self.retries += 1
             _emit("worker_failure", backend="threads", error=repr(exc))
             self._degrade(repr(exc))
-            self._run_serial(f, sh, axis, scheme, bc, out)
+            self._run_serial(f, sh, axis, scheme, bc, out, lay)
 
-    def _threads_sweep(self, f, sh, axis, scheme, bc, out, shard, slices):
+    def _threads_sweep(self, f, sh, axis, scheme, bc, out, shard, slices,
+                       lay=None):
         def one(slot: int, sl: slice) -> None:
             idx = tuple(
                 sl if d == shard else slice(None) for d in range(f.ndim)
@@ -444,6 +484,7 @@ class PencilEngine:
             advect(
                 f[idx], self._slice_shift(sh, shard, sl), axis,
                 scheme=scheme, bc=bc, out=out[idx], arena=self._arena(slot),
+                layout=lay,
             )
 
         self._await([
@@ -451,7 +492,8 @@ class PencilEngine:
             for slot, sl in enumerate(slices)
         ])
 
-    def _run_processes(self, f, sh, axis, scheme, bc, out, shard, slices):
+    def _run_processes(self, f, sh, axis, scheme, bc, out, shard, slices,
+                       lay=None):
         """Process sweep under supervision: retry, rebuild, degrade.
 
         A worker death (``BrokenExecutor``) or sweep timeout tears the
@@ -465,7 +507,7 @@ class PencilEngine:
         for attempt in range(self.max_retries + 1):
             try:
                 self._processes_sweep(
-                    f, sh, axis, scheme, bc, out, shard, slices
+                    f, sh, axis, scheme, bc, out, shard, slices, lay
                 )
                 return
             except (BrokenExecutor, SweepTimeout) as exc:
@@ -484,11 +526,12 @@ class PencilEngine:
         # is bitwise-identical on every backend, so nothing is lost but
         # wall clock).
         if self.backend == "threads":
-            self._run_threads(f, sh, axis, scheme, bc, out, shard, slices)
+            self._run_threads(f, sh, axis, scheme, bc, out, shard, slices, lay)
         else:
-            self._run_serial(f, sh, axis, scheme, bc, out)
+            self._run_serial(f, sh, axis, scheme, bc, out, lay)
 
-    def _processes_sweep(self, f, sh, axis, scheme, bc, out, shard, slices):
+    def _processes_sweep(self, f, sh, axis, scheme, bc, out, shard, slices,
+                         lay=None):
         from multiprocessing import shared_memory
 
         shm_in = shared_memory.SharedMemory(create=True, size=f.nbytes)
@@ -505,7 +548,7 @@ class PencilEngine:
                     sl.start, sl.stop,
                     np.ascontiguousarray(self._slice_shift(sh, shard, sl))
                     if sh.ndim else sh,
-                    axis, scheme, bc,
+                    axis, scheme, bc, lay,
                 )
                 for sl in slices
             ]

@@ -114,6 +114,11 @@ class EngineConfig:
     engine degrades processes → threads → serial permanently.  The
     hybrid scenario ignores this section (its driver manages its own
     kernels).
+
+    ``layout`` is the sweep-layout policy (``"auto"`` / ``"packed"`` /
+    ``"in_place"``, see :class:`repro.perf.layout.LayoutEngine`) and
+    applies whether or not a pencil backend is on — it is forwarded to
+    the drivers' Vlasov solvers, which own the deciding engine.
     """
 
     backend: str = "off"
@@ -122,6 +127,7 @@ class EngineConfig:
     backoff_base: float = 0.05
     task_timeout: float | None = None
     min_shard_bytes: int = 1 << 16
+    layout: str = "auto"
 
 
 @dataclass
@@ -232,6 +238,11 @@ class RunConfig:
             raise ValueError("engine.max_retries must be >= 0")
         if e.task_timeout is not None and e.task_timeout <= 0.0:
             raise ValueError("engine.task_timeout must be positive or null")
+        if e.layout not in ("auto", "packed", "in_place"):
+            raise ValueError(
+                f"engine.layout {e.layout!r} not in ('auto', 'packed', "
+                f"'in_place')"
+            )
         r = self.recovery
         if r.max_attempts < 1:
             raise ValueError("recovery.max_attempts must be >= 1")

@@ -162,7 +162,8 @@ class PlasmaStepper(Stepper):
     def __init__(self, config: RunConfig, timer=None, engine=None) -> None:
         self.grid = _make_grid(config)
         self.driver = PlasmaVlasovPoisson(
-            self.grid, scheme=config.scheme, timer=timer, engine=engine
+            self.grid, scheme=config.scheme, timer=timer, engine=engine,
+            layout=config.engine.layout,
         )
         p = config.params
         f0 = _maxwellian(self.grid) * _cosine_perturbation(
@@ -223,6 +224,7 @@ class GravitationalStepper(Stepper):
             scheme=config.scheme,
             timer=timer,
             engine=engine,
+            layout=config.engine.layout,
         )
         sigma = float(p.get("sigma_v", 1.0))
         rho0 = float(p.get("rho0", 1.0))

@@ -207,6 +207,26 @@ def _read_lines(path: str | Path) -> list[dict]:
     return records
 
 
+def _layout_summary(events: list[dict]) -> dict | None:
+    """Reduce ``layout_decision`` events to sweep counts and traffic.
+
+    One event per directional sweep (the deciding LayoutEngine emits it);
+    ``packed_fraction`` is the share of sweeps that ran through the
+    pack/compute/unpack path and ``bytes_moved`` the total transpose
+    traffic it cost.
+    """
+    decisions = [e for e in events if e["event"] == "layout_decision"]
+    if not decisions:
+        return None
+    packed = sum(1 for e in decisions if e.get("mode") == "packed")
+    return {
+        "sweeps": len(decisions),
+        "packed": packed,
+        "packed_fraction": packed / len(decisions),
+        "bytes_moved": sum(int(e.get("bytes_moved", 0)) for e in decisions),
+    }
+
+
 def summarize(path: str | Path) -> dict:
     """Reduce a telemetry stream to the run-level numbers that matter.
 
@@ -216,7 +236,9 @@ def summarize(path: str | Path) -> dict:
     (end-to-end time *including I/O*).  Fault-tolerance activity is
     reported alongside: ``events`` counts every event record by kind
     (fault injections, engine degradations, quarantines) and
-    ``recoveries`` counts completed rollback restores.
+    ``recoveries`` counts completed rollback restores.  When the run
+    emitted ``layout_decision`` events, ``layout`` reports the packed
+    sweep fraction and transpose traffic (paper §5.4's LAT analog).
     """
     all_records = _read_lines(path)
     records = [r for r in all_records if "event" not in r]
@@ -227,8 +249,12 @@ def summarize(path: str | Path) -> dict:
         by_kind: dict[str, int] = {}
         for e in events:
             by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
-        return {"steps": 0, "events": by_kind,
-                "recoveries": by_kind.get("rollback", 0)}
+        out = {"steps": 0, "events": by_kind,
+               "recoveries": by_kind.get("rollback", 0)}
+        layout = _layout_summary(events)
+        if layout is not None:
+            out["layout"] = layout
+        return out
     walls = [r["wall_s"] for r in records]
     worst: dict[str, float] = {}
     for r in records:
@@ -255,4 +281,7 @@ def summarize(path: str | Path) -> dict:
             by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
         summary["events"] = by_kind
         summary["recoveries"] = by_kind.get("rollback", 0)
+        layout = _layout_summary(events)
+        if layout is not None:
+            summary["layout"] = layout
     return summary

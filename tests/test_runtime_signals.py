@@ -49,12 +49,23 @@ def write_config(tmp_path: Path, n_steps: int, step_delay: float) -> Path:
 
 
 def wait_for_lines(path: Path, n: int, timeout: float = 30.0) -> None:
+    """Wait until the stream holds >= n *step* records.
+
+    Event records (layout decisions, faults, ...) interleave with step
+    records in the same JSONL file and don't advance the step count.
+    """
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        if path.exists() and len(path.read_text().splitlines()) >= n:
-            return
+        if path.exists():
+            steps = sum(
+                1
+                for line in path.read_text().splitlines()
+                if line.strip() and '"event"' not in line
+            )
+            if steps >= n:
+                return
         time.sleep(0.02)
-    raise TimeoutError(f"{path} never reached {n} telemetry lines")
+    raise TimeoutError(f"{path} never reached {n} telemetry step records")
 
 
 @pytest.mark.smoke
