@@ -1,0 +1,86 @@
+"""Cross-run aggregation: the campaign's results table.
+
+Each run already reduces its own telemetry stream with
+:func:`repro.runtime.telemetry.summarize` (steps, wall clock, worst
+drifts, fault-tolerance activity); this module folds those per-run
+summaries across the sweep into one table keyed by the swept
+parameters — the campaign analog of the paper's Table 2 reporting, and
+the artifact a mass-hierarchy sweep is actually run *for*.
+
+The summarize pass streams each ``telemetry.jsonl`` and tolerates torn
+tails, so aggregating a campaign whose scheduler was SIGKILLed mid-run
+works on the first try.
+"""
+
+from __future__ import annotations
+
+from ..runtime.telemetry import summarize
+from .manifest import CampaignManifest
+
+__all__ = ["aggregate_rows", "format_table"]
+
+
+def aggregate_rows(manifest: CampaignManifest) -> list[dict]:
+    """One row per campaign point, in point order.
+
+    Rows carry the manifest state (state, exit code, attempts), the
+    swept overrides, and — when the run has telemetry on disk — the
+    summarized results: steps covered, final coordinate, total/median
+    wall clock, the worst conservation drift, and the event count.
+    """
+    rows: list[dict] = []
+    for run_id, entry in manifest.runs.items():
+        row = {
+            "run_id": run_id,
+            "state": entry["state"],
+            "exit_code": entry["exit_code"],
+            "attempts": entry["attempts"],
+            "overrides": dict(entry["overrides"]),
+            "steps": 0,
+            "last_coord": None,
+            "wall_s_total": 0.0,
+            "wall_s_median": 0.0,
+            "max_drift": 0.0,
+            "events": 0,
+        }
+        telemetry = manifest.run_dir(run_id) / "telemetry.jsonl"
+        if telemetry.exists():
+            summary = summarize(telemetry)
+            row["steps"] = summary["steps"]
+            row["last_coord"] = summary.get("last_coord")
+            row["wall_s_total"] = summary.get("wall_s_total", 0.0)
+            row["wall_s_median"] = summary.get("wall_s_median", 0.0)
+            drifts = summary.get("max_drifts", {})
+            row["max_drift"] = max(drifts.values(), default=0.0)
+            row["events"] = sum(summary.get("events", {}).values())
+        rows.append(row)
+    return rows
+
+
+def _fmt_overrides(overrides: dict) -> str:
+    return " ".join(f"{k}={v!r}" for k, v in overrides.items()) or "-"
+
+
+def _fmt_coord(coord) -> str:
+    if not coord:
+        return "-"
+    key, value = next(iter(coord.items()))
+    return f"{key}={value:.4g}"
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render aggregate rows as an aligned text table."""
+    header = (f"{'run':>6} {'state':>8} {'exit':>4} {'steps':>5} "
+              f"{'wall[s]':>8} {'drift':>9} {'coord':>10}  sweep")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        exit_code = "-" if row["exit_code"] is None else str(row["exit_code"])
+        lines.append(
+            f"{row['run_id']:>6} {row['state']:>8} {exit_code:>4} "
+            f"{row['steps']:>5} {row['wall_s_total']:>8.2f} "
+            f"{row['max_drift']:>9.2e} {_fmt_coord(row['last_coord']):>10}  "
+            f"{_fmt_overrides(row['overrides'])}"
+        )
+    done = sum(r["state"] == "done" for r in rows)
+    lines.append(f"{done}/{len(rows)} runs done")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Pluggable run executors: how one campaign point actually executes.
+
+The scheduler only ever talks to the :class:`Executor` interface —
+*execute this materialized run directory, tell me the exit code* — so
+the execution substrate is swappable without touching scheduling,
+manifest, or resume logic.  Two implementations ship:
+
+:class:`ProcessExecutor` (``"processes"``, the default)
+    One OS subprocess per run, driving the standard ``python -m repro
+    run`` entry point.  Full isolation (a run that segfaults or is
+    OOM-killed cannot take the campaign down — its death becomes a
+    recorded exit code), true multi-core parallelism, and exactly the
+    code path a human operator runs by hand.
+
+:class:`ThreadExecutor` (``"threads"``)
+    A :class:`~repro.runtime.runner.SimulationRunner` in the calling
+    thread.  No subprocess startup tax, which makes it the executor for
+    tests and for the scheduling-overhead benchmark.  Safe for
+    concurrent runs *because the telemetry event sink is contextual*
+    (a contextvar, not a process global): each in-flight runner's
+    subsystem events land in its own ``telemetry.jsonl``.
+
+The same interface admits remote executors later (submit a batch job /
+HTTP request, poll, map the remote status to the 0/75/70 contract) —
+the ``clusters.py`` submission-script pattern of the SimulationRunner
+exemplar, behind one method.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "ThreadExecutor",
+    "build_executor",
+]
+
+
+class Executor:
+    """Executes one materialized campaign run to its next stopping point.
+
+    Implementations must be safe to call from multiple threads at once
+    (the scheduler dispatches K concurrent ``execute`` calls) and must
+    be *re-entrant per run directory*: executing a directory that
+    already holds checkpoints resumes it — that contract is what makes
+    campaign resume free, and both shipped executors inherit it from
+    ``SimulationRunner``'s own auto-resume.
+    """
+
+    name = "abstract"
+
+    def execute(self, run_dir: Path, config_path: Path,
+                max_steps: int | None = None) -> int:
+        """Run to completion (or drain); return the 0/75/70 exit code."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor-held resources (pools, sessions); idempotent."""
+
+
+class ThreadExecutor(Executor):
+    """In-process execution on the calling (scheduler worker) thread."""
+
+    name = "threads"
+
+    def execute(self, run_dir: Path, config_path: Path,
+                max_steps: int | None = None) -> int:
+        from ..runtime import RunConfig, SimulationRunner
+
+        config = RunConfig.load(config_path)
+        runner = SimulationRunner.create(config, run_dir)
+        return runner.run(max_steps=max_steps)
+
+
+class ProcessExecutor(Executor):
+    """One subprocess per run through the ``repro run`` CLI.
+
+    The child inherits this interpreter and environment, with the
+    package root prepended to ``PYTHONPATH`` so a source-tree layout
+    works without installation.  stdout/stderr are captured to
+    ``executor.log`` inside the run directory — the campaign's analog
+    of a batch scheduler's per-job log file.
+    """
+
+    name = "processes"
+
+    def execute(self, run_dir: Path, config_path: Path,
+                max_steps: int | None = None) -> int:
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        cmd = [sys.executable, "-m", "repro", "run", str(config_path),
+               "--run-dir", str(run_dir)]
+        if max_steps is not None:
+            cmd += ["--max-steps", str(max_steps)]
+        run_dir.mkdir(parents=True, exist_ok=True)
+        with open(run_dir / "executor.log", "a", encoding="utf-8") as log:
+            proc = subprocess.run(cmd, env=env, stdout=log,
+                                  stderr=subprocess.STDOUT)
+        return proc.returncode
+
+
+_EXECUTORS = {
+    ProcessExecutor.name: ProcessExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+}
+
+
+def build_executor(name: str) -> Executor:
+    """Instantiate a registered executor by name."""
+    try:
+        cls = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of "
+            f"{tuple(_EXECUTORS)}"
+        ) from None
+    return cls()

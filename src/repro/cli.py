@@ -8,6 +8,7 @@ without writing a script:
 * ``hybrid``   — run a mini cosmological hybrid simulation;
 * ``run``      — start a production run from a config file;
 * ``resume``   — continue an interrupted run from its run directory;
+* ``campaign`` — run/resume a parameter-sweep campaign from a spec;
 * ``verify``   — check the integrity of a run's checkpoints;
 * ``scaling``  — print Tables 2-4 + the time-to-solution report;
 * ``memory``   — per-node memory audit of the Table 2 runs;
@@ -16,7 +17,9 @@ without writing a script:
 ``run``/``resume`` return the runtime subsystem's exit-code contract
 (0 complete, 75 resumable, 70 guard abort — see ``docs/RUNTIME.md``);
 both accept ``--faults`` (inline JSON or a file path) to drive a chaos
-drill against a real run.
+drill against a real run.  ``campaign`` rolls the same contract up over
+a whole sweep (0 all done, 70 any guard abort, else 75 — resume until
+0; see ``docs/CAMPAIGN.md``).
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ def cmd_info(_: argparse.Namespace) -> int:
     )
     print(f"advection schemes: {', '.join(sorted(SCHEMES))}")
     print("subsystems: core gravity nbody cosmology ic parallel simd machine")
-    print("            scaling io analysis diagnostics plasma runtime")
+    print("            scaling io analysis diagnostics plasma runtime campaign")
     print("see README.md / DESIGN.md / EXPERIMENTS.md")
     return 0
 
@@ -107,6 +110,38 @@ def cmd_resume(args: argparse.Namespace) -> int:
     runner = SimulationRunner.resume(args.run_dir)
     return runner.run(max_steps=args.max_steps,
                       fault_plan=FaultPlan.from_spec(args.faults))
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run, resume, or inspect a parameter-sweep campaign.
+
+    ``repro campaign <spec>`` materializes and runs a sweep (re-running
+    an existing directory naturally resumes it); ``repro campaign
+    resume <dir>`` re-enters a campaign from its manifest alone;
+    ``repro campaign status <dir>`` prints the aggregate table without
+    executing anything.
+    """
+    from repro.campaign import Campaign, CampaignConfig, format_table
+
+    if args.target in ("resume", "status"):
+        if args.arg is None:
+            print(f"campaign {args.target}: campaign directory required")
+            return 2
+        campaign = Campaign.resume(args.arg)
+        if args.target == "status":
+            print(format_table(campaign.aggregate()))
+            return 0
+    else:
+        config = CampaignConfig.load(args.target)
+        if args.concurrency is not None:
+            config.concurrency = args.concurrency
+        if args.executor is not None:
+            config.executor = args.executor
+        campaign_dir = args.dir or args.arg or f"{config.name}.campaign"
+        campaign = Campaign.create(config, campaign_dir)
+    code = campaign.run(max_steps=args.max_steps)
+    print(format_table(campaign.aggregate()))
+    return code
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -231,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None,
                    help="chaos drill: fault-plan JSON (inline or a path)")
 
+    p = sub.add_parser("campaign", help="parameter-sweep campaign over runs")
+    p.add_argument("target",
+                   help="campaign spec (.json/.toml), or 'resume'/'status'")
+    p.add_argument("arg", nargs="?", default=None,
+                   help="campaign directory (for resume/status)")
+    p.add_argument("--dir", default=None,
+                   help="campaign directory (default: <name>.campaign)")
+    p.add_argument("-k", "--concurrency", type=int, default=None,
+                   help="override the spec's runs-in-flight count")
+    p.add_argument("--executor", default=None,
+                   choices=("processes", "threads"),
+                   help="override the spec's executor backend")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="cap steps per run this invocation (runs exit 75)")
+
     p = sub.add_parser("verify", help="checkpoint integrity audit")
     p.add_argument("run_dir", help="run directory (or its checkpoints/)")
     p.add_argument("--quarantine", action="store_true",
@@ -249,6 +299,7 @@ _COMMANDS = {
     "hybrid": cmd_hybrid,
     "run": cmd_run,
     "resume": cmd_resume,
+    "campaign": cmd_campaign,
     "verify": cmd_verify,
     "scaling": cmd_scaling,
     "memory": cmd_memory,

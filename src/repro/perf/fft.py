@@ -30,14 +30,18 @@ The backend also counts its forward/inverse transforms
 regression tests assert against: a field solve must perform **exactly
 one** forward transform of the source, never ``1 + dim``.
 
-A module-level default backend serves every solver that is not handed an
-explicit one; swap it with :func:`set_default_backend` (tests install a
-counting instance, benchmarks a tuned one).
+A **per-thread** default backend serves every solver that is not handed
+an explicit one; swap it with :func:`set_default_backend` (tests install
+a counting instance, benchmarks a tuned one).  Per-thread, not
+per-process, because the pooled workspaces are single-caller scratch:
+concurrent in-process runs (the campaign layer's thread executor) must
+not share them.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -197,24 +201,28 @@ class SpectralBackend:
         )
 
 
-_DEFAULT: SpectralBackend | None = None
+# The default backend is per-thread, not per-process: its ScratchArena
+# pools the k-space workspaces of `kspace_product`, and two concurrent
+# same-shaped field solves sharing one pool would overwrite each other's
+# products mid-solve (pocketfft's own plan cache is process-wide and
+# thread-safe; only the counters and workspaces live here).
+_DEFAULTS = threading.local()
 
 
 def get_default_backend() -> SpectralBackend:
-    """The process-wide backend used by solvers without an explicit one."""
-    global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = SpectralBackend()
-    return _DEFAULT
+    """This thread's default backend for solvers without an explicit one."""
+    backend = getattr(_DEFAULTS, "backend", None)
+    if backend is None:
+        backend = _DEFAULTS.backend = SpectralBackend()
+    return backend
 
 
 def set_default_backend(backend: SpectralBackend | None) -> SpectralBackend | None:
-    """Install (or with ``None`` reset) the default backend.
+    """Install (or with ``None`` reset) this thread's default backend.
 
     Returns the previous default so callers can restore it — the
     FFT-counting test fixture does exactly that.
     """
-    global _DEFAULT
-    previous = _DEFAULT
-    _DEFAULT = backend
+    previous = getattr(_DEFAULTS, "backend", None)
+    _DEFAULTS.backend = backend
     return previous

@@ -37,6 +37,7 @@ of a run.
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
 from typing import NamedTuple
 
@@ -259,25 +260,28 @@ class LayoutEngine:
         )
 
 
-# -- module default -----------------------------------------------------
+# -- per-thread default --------------------------------------------------
 #
 # `advect(layout="packed")` from a pencil worker needs the blocked-copy
 # machinery but must not record decisions (the engine that sharded the
-# sweep already did); the module default carries the kernels, timer-less.
+# sweep already did); the default carries the kernels, timer-less.  It is
+# per-thread, not per-process: the engine's decision history, counters
+# and timers are single-caller state, and concurrent in-process runs
+# (the campaign layer's thread executor) must not interleave them.
 
-_DEFAULT: LayoutEngine | None = None
+_DEFAULTS = threading.local()
 
 
 def get_default_layout() -> LayoutEngine:
-    """The process-wide engine backing plain-string ``layout=`` modes."""
-    global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = LayoutEngine()
-    return _DEFAULT
+    """This thread's engine backing plain-string ``layout=`` modes."""
+    engine = getattr(_DEFAULTS, "engine", None)
+    if engine is None:
+        engine = _DEFAULTS.engine = LayoutEngine()
+    return engine
 
 
 def set_default_layout(engine: LayoutEngine | None) -> LayoutEngine | None:
-    """Swap the process-wide default engine; returns the previous one."""
-    global _DEFAULT
-    prev, _DEFAULT = _DEFAULT, engine
+    """Swap this thread's default engine; returns the previous one."""
+    prev = getattr(_DEFAULTS, "engine", None)
+    _DEFAULTS.engine = engine
     return prev

@@ -41,6 +41,8 @@ from .telemetry import (
     TELEMETRY_FIELDS,
     TelemetryWriter,
     emit_event,
+    event_sink,
+    iter_records,
     read_events,
     read_telemetry,
     set_event_sink,
@@ -74,6 +76,8 @@ __all__ = [
     "TELEMETRY_FIELDS",
     "TelemetryWriter",
     "emit_event",
+    "event_sink",
+    "iter_records",
     "read_events",
     "read_telemetry",
     "set_event_sink",

@@ -324,6 +324,30 @@ class RunConfig:
         return path
 
 
+def apply_override(data: dict, dotted_key: str, value) -> dict:
+    """Set one dotted-path key in a config's plain-dict form, in place.
+
+    ``apply_override(d, "grid.nx", [64])`` is the campaign sweep
+    primitive: it navigates (creating empty sections as needed, so a
+    sweep may set a key the base config left at its default) and
+    assigns.  Validation is *not* done here — the caller feeds the
+    result to :meth:`RunConfig.from_dict`, whose unknown-key rejection
+    catches a typoed path exactly like a typoed config file.  Returns
+    ``data`` for chaining.
+    """
+    parts = dotted_key.split(".")
+    cursor = data
+    for part in parts[:-1]:
+        nxt = cursor.setdefault(part, {})
+        if not isinstance(nxt, dict):
+            raise ValueError(
+                f"override path {dotted_key!r}: {part!r} is not a section"
+            )
+        cursor = nxt
+    cursor[parts[-1]] = value
+    return data
+
+
 def _build_section(section_cls, data) -> object:
     """Instantiate one nested config dataclass, rejecting unknown keys."""
     if dataclasses.is_dataclass(data):

@@ -110,6 +110,10 @@ class SimulationRunner:
         self.timer = StepTimer()
         self.io_timer = IOTimer()
         self.ledger = ConservationLedger()
+        #: While a rollback is pending (state restored, no newer
+        #: checkpoint written yet), the checkpoint it restored from —
+        #: rotation must never delete it (see :meth:`_rotate`).
+        self._rollback_protect: Path | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -353,6 +357,9 @@ class SimulationRunner:
         trusted.  Returns the replacement stepper.
         """
         state = recovery.begin_attempt(reason)
+        self._rollback_protect = (
+            state.path if state is not None and state.f is not None else None
+        )
         stepper = build_stepper(self.config, timer=self.timer, engine=engine)
         if state is not None and state.f is not None:
             if state.grid != stepper.grid:
@@ -405,14 +412,39 @@ class SimulationRunner:
         """Write a checkpoint at the stepper's position, then rotate."""
         path = stepper.save(ck_dir / checkpoint_name(stepper.index),
                             timer=self.io_timer)
+        # A newer valid checkpoint now exists: whatever rollback restore
+        # was pending is superseded, so the old restore point may rotate.
+        self._rollback_protect = None
         self._rotate(ck_dir)
         return path
 
     def _rotate(self, ck_dir: Path) -> None:
-        """Keep only the ``keep_last`` newest checkpoints."""
+        """Keep only the ``keep_last`` newest checkpoints.
+
+        Quarantined ``*.corrupt`` files rotate on the same budget: they
+        escape the ``ck_*.npz`` glob by design (the restart chain must
+        not re-read them), but under repeated corruption they would
+        otherwise accumulate without bound.  The newest files of each
+        family survive — recent corpses are post-mortem evidence, a
+        deep history of them is just disk.
+
+        Invariant: while a rollback is pending (state restored from a
+        checkpoint, nothing newer written yet) the restored-from file is
+        never deleted, no matter how the retention window lands — losing
+        it would leave a re-tripping run nothing to roll back onto.
+        """
         keep = self.config.checkpoint.keep_last
+        protect = self._rollback_protect
         files = sorted(ck_dir.glob("ck_*.npz"))
         for stale in files[:-keep]:
+            if protect is not None and stale.name == protect.name:
+                continue
+            stale.unlink(missing_ok=True)
+        assert protect is None or protect.exists(), (
+            f"rotation deleted the pending rollback restore point "
+            f"{protect.name}"
+        )
+        for stale in sorted(ck_dir.glob("ck_*.npz.corrupt"))[:-keep]:
             stale.unlink(missing_ok=True)
 
     def _write_manifest(self, status: str, exit_code: int | None,

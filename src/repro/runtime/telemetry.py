@@ -39,18 +39,30 @@ naming the kind plus free-form fields.  Events interleave with step
 records in arrival order; :func:`read_events` filters them back out and
 :func:`summarize` reports them separately, so the per-step schema stays
 strict.  Subsystems that cannot hold a writer (the pencil engine, the
-FFT backend) publish through the module-level sink installed by the
+FFT backend) publish through the **contextual** sink installed by the
 runner (:func:`set_event_sink` / :func:`emit_event`); with no sink
 installed events are dropped, which keeps library use dependency-free.
+
+The sink is a :class:`contextvars.ContextVar`, not a module global:
+each thread (and each ``asyncio`` task) sees only the sink installed in
+its own context, so two :class:`~repro.runtime.runner.SimulationRunner`
+instances driving concurrent campaign runs in one process cannot
+interleave each other's events into the wrong ``telemetry.jsonl``.
+Subsystem code is unaffected — a sweep's layout decisions, engine
+degradations, and rollbacks are emitted from the thread driving that
+run, which is exactly the context whose sink points at that run's
+stream.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -94,31 +106,52 @@ class _JsonSanitizer(json.JSONEncoder):
 
 
 # ----------------------------------------------------------------------
-# the process-wide event sink
+# the contextual event sink
 # ----------------------------------------------------------------------
+#
+# Historically this was a module global, which made the sink
+# process-wide: two runners in one process (threads of a campaign)
+# overwrote each other's sink and every subsystem event landed in
+# whichever telemetry stream installed its sink last.  A ContextVar
+# scopes the sink to the installing thread/task instead; new threads
+# start with no sink (the library-use default) until their runner
+# installs one.
 
-_EVENT_SINK: Callable[..., None] | None = None
+_EVENT_SINK: contextvars.ContextVar[Callable[..., None] | None] = (
+    contextvars.ContextVar("repro_event_sink", default=None)
+)
 
 
 def set_event_sink(sink: Callable[..., None] | None) -> Callable[..., None] | None:
-    """Install (or with ``None`` remove) the process-wide event sink.
+    """Install (or with ``None`` remove) the *contextual* event sink.
 
-    The sink is called as ``sink(kind, **fields)``.  Returns the
+    The sink is called as ``sink(kind, **fields)`` and is visible only
+    to the current thread / async task (and contexts copied from it) —
+    concurrent runners in one process each see their own.  Returns the
     previous sink so callers (the runner) can restore it on exit.
     """
-    global _EVENT_SINK
-    previous = _EVENT_SINK
-    _EVENT_SINK = sink
+    previous = _EVENT_SINK.get()
+    _EVENT_SINK.set(sink)
     return previous
 
 
+@contextmanager
+def event_sink(sink: Callable[..., None] | None):
+    """Scoped :func:`set_event_sink`: install for the block, then restore."""
+    token = _EVENT_SINK.set(sink)
+    try:
+        yield sink
+    finally:
+        _EVENT_SINK.reset(token)
+
+
 def emit_event(kind: str, /, **fields) -> None:
-    """Publish one event to the installed sink (no-op without one).
+    """Publish one event to the context's sink (no-op without one).
 
     Never raises: telemetry must not be able to take down the
     simulation it is observing.
     """
-    sink = _EVENT_SINK
+    sink = _EVENT_SINK.get()
     if sink is None:
         return
     try:
@@ -170,6 +203,40 @@ class TelemetryWriter:
         self.close()
 
 
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Yield every parseable record of a telemetry stream, in order.
+
+    Streams the file line by line (a week-long run's telemetry never
+    needs to fit in memory) and skips anything torn: a line that does
+    not decode (the process died mid-write, the exact case the format
+    exists for) or decodes to something other than an object.  A *step*
+    record that decodes but is missing schema fields — a truncation that
+    happened to land on a ``}`` — is yielded as-is; step-record
+    consumers filter with :func:`_is_complete_step`.
+    """
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def _is_complete_step(record: dict) -> bool:
+    """Whether a non-event record carries the full per-step schema.
+
+    A torn final line can truncate to *valid* JSON (the cut landing just
+    after a closing brace); such a record parses but must be treated
+    exactly like an unparsable tail — skipped, not raised on.
+    """
+    return all(key in record for key in TELEMETRY_FIELDS)
+
+
 def read_telemetry(path: str | Path) -> list[dict]:
     """Load every complete *step* record of a telemetry stream.
 
@@ -178,7 +245,8 @@ def read_telemetry(path: str | Path) -> list[dict]:
     Event records (see :func:`read_events`) are filtered out so every
     returned record carries the full :data:`TELEMETRY_FIELDS` schema.
     """
-    return [r for r in _read_lines(path) if "event" not in r]
+    return [r for r in iter_records(path)
+            if "event" not in r and _is_complete_step(r)]
 
 
 def read_events(path: str | Path, kind: str | None = None) -> list[dict]:
@@ -187,44 +255,10 @@ def read_events(path: str | Path, kind: str | None = None) -> list[dict]:
     ``kind`` filters to one event kind (``"fault_injected"``,
     ``"rollback"``, ``"engine_degraded"``, ...).
     """
-    events = [r for r in _read_lines(path) if "event" in r]
+    events = [r for r in iter_records(path) if "event" in r]
     if kind is not None:
         events = [e for e in events if e["event"] == kind]
     return events
-
-
-def _read_lines(path: str | Path) -> list[dict]:
-    records: list[dict] = []
-    text = Path(path).read_text(encoding="utf-8")
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            continue
-    return records
-
-
-def _layout_summary(events: list[dict]) -> dict | None:
-    """Reduce ``layout_decision`` events to sweep counts and traffic.
-
-    One event per directional sweep (the deciding LayoutEngine emits it);
-    ``packed_fraction`` is the share of sweeps that ran through the
-    pack/compute/unpack path and ``bytes_moved`` the total transpose
-    traffic it cost.
-    """
-    decisions = [e for e in events if e["event"] == "layout_decision"]
-    if not decisions:
-        return None
-    packed = sum(1 for e in decisions if e.get("mode") == "packed")
-    return {
-        "sweeps": len(decisions),
-        "packed": packed,
-        "packed_fraction": packed / len(decisions),
-        "bytes_moved": sum(int(e.get("bytes_moved", 0)) for e in decisions),
-    }
 
 
 def summarize(path: str | Path) -> dict:
@@ -239,32 +273,61 @@ def summarize(path: str | Path) -> dict:
     ``recoveries`` counts completed rollback restores.  When the run
     emitted ``layout_decision`` events, ``layout`` reports the packed
     sweep fraction and transpose traffic (paper §5.4's LAT analog).
+
+    The stream is folded in a single line-by-line pass — full records
+    are never accumulated — and a torn tail (SIGKILL mid-write, whether
+    it truncates to invalid *or* valid JSON) is skipped, so summarizing
+    the telemetry of a killed run can never raise.
     """
-    all_records = _read_lines(path)
-    records = [r for r in all_records if "event" not in r]
-    events = [r for r in all_records if "event" in r]
-    if not records:
-        if not events:
-            return {"steps": 0}
-        by_kind: dict[str, int] = {}
-        for e in events:
-            by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
-        out = {"steps": 0, "events": by_kind,
-               "recoveries": by_kind.get("rollback", 0)}
-        layout = _layout_summary(events)
-        if layout is not None:
-            out["layout"] = layout
-        return out
-    walls = [r["wall_s"] for r in records]
+    steps = 0
+    first_step = None
+    last: dict | None = None
+    walls: list[float] = []
     worst: dict[str, float] = {}
-    for r in records:
+    guard_events = 0
+    by_kind: dict[str, int] = {}
+    layout_sweeps = layout_packed = layout_bytes = 0
+    for r in iter_records(path):
+        if "event" in r:
+            by_kind[r["event"]] = by_kind.get(r["event"], 0) + 1
+            if r["event"] == "layout_decision":
+                # one event per directional sweep (the deciding
+                # LayoutEngine emits it); the packed fraction and the
+                # transpose traffic it cost summarize the LAT analog
+                layout_sweeps += 1
+                layout_packed += r.get("mode") == "packed"
+                layout_bytes += int(r.get("bytes_moved", 0))
+            continue
+        if not _is_complete_step(r):  # torn tail
+            continue
+        steps += 1
+        if first_step is None:
+            first_step = r["step"]
+        last = r
+        walls.append(r["wall_s"])
         for key, row in r["drifts"].items():
             drift = row["drift"] if isinstance(row, dict) else row
             worst[key] = max(worst.get(key, 0.0), drift)
-    last = records[-1]
+        guard_events += len(r["guards"])
+    layout = None
+    if layout_sweeps:
+        layout = {
+            "sweeps": layout_sweeps,
+            "packed": layout_packed,
+            "packed_fraction": layout_packed / layout_sweeps,
+            "bytes_moved": layout_bytes,
+        }
+    if last is None:
+        if not by_kind:
+            return {"steps": 0}
+        out = {"steps": 0, "events": by_kind,
+               "recoveries": by_kind.get("rollback", 0)}
+        if layout is not None:
+            out["layout"] = layout
+        return out
     summary = {
-        "steps": len(records),
-        "first_step": records[0]["step"],
+        "steps": steps,
+        "first_step": first_step,
         "last_step": last["step"],
         "last_coord": last["coord"],
         "wall_s_total": float(sum(walls)),
@@ -273,15 +336,11 @@ def summarize(path: str | Path) -> dict:
         "io": last["io"],
         "fft": last["fft"],
         "rss_mb": last["rss_mb"],
-        "guard_events": sum(len(r["guards"]) for r in records),
+        "guard_events": guard_events,
     }
-    if events:
-        by_kind = {}
-        for e in events:
-            by_kind[e["event"]] = by_kind.get(e["event"], 0) + 1
+    if by_kind:
         summary["events"] = by_kind
         summary["recoveries"] = by_kind.get("rollback", 0)
-        layout = _layout_summary(events)
         if layout is not None:
             summary["layout"] = layout
     return summary

@@ -13,8 +13,13 @@ from repro.runtime.guards import GuardSuite
 from repro.runtime.telemetry import (
     TELEMETRY_FIELDS,
     TelemetryWriter,
+    emit_event,
+    event_sink,
+    iter_records,
     peak_rss_mb,
+    read_events,
     read_telemetry,
+    set_event_sink,
     summarize,
 )
 
@@ -168,8 +173,90 @@ class TestTelemetry:
         path.write_text("")
         assert summarize(path) == {"steps": 0}
 
+    def test_summarize_tolerates_torn_tail(self, tmp_path):
+        """A stream whose writer was SIGKILLed mid-line still summarizes
+        — the reader streams line by line and skips the torn tail."""
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path) as w:
+            for i in range(1, 4):
+                w.append(full_record(i))
+        with open(path, "a") as fh:
+            fh.write('{"step": 4, "coord": {"t": 0.4}, "dt"')  # torn
+        s = summarize(path)
+        assert s["steps"] == 3
+        assert s["last_step"] == 3
+
+    def test_summarize_skips_partial_but_valid_json_record(self, tmp_path):
+        """A final line that parses but lacks schema fields (torn at a
+        line boundary) must not raise KeyError out of summarize."""
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path) as w:
+            w.append(full_record(1))
+        with open(path, "a") as fh:
+            fh.write('{"step": 2, "coord": {"t": 0.2}}\n')
+        assert summarize(path)["steps"] == 1
+        assert [r["step"] for r in read_telemetry(path)] == [1]
+
+    def test_iter_records_streams_and_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\nnot json\n[3]\n{"c"')
+        assert list(iter_records(path)) == [{"a": 1}, {"b": 2}]
+
     def test_peak_rss_positive(self):
         assert peak_rss_mb() > 0.0
+
+
+class TestEventSink:
+    """The contextual event sink: per-context, never a process global."""
+
+    def test_event_sink_context_manager_restores(self):
+        seen = []
+        assert set_event_sink(None) is None
+        with event_sink(lambda name, **p: seen.append((name, p))):
+            emit_event("drill", level=1)
+        emit_event("after", level=2)  # no sink installed: dropped
+        assert seen == [("drill", {"level": 1})]
+
+    def test_set_event_sink_returns_previous(self):
+        first = lambda name, **p: None  # noqa: E731
+        assert set_event_sink(first) is None
+        try:
+            assert set_event_sink(None) is first
+        finally:
+            set_event_sink(None)
+
+    def test_sinks_are_thread_isolated(self, tmp_path):
+        """A sink installed in one thread is invisible to another —
+        the regression behind interleaved campaign telemetry."""
+        import threading
+
+        streams = {"a": [], "b": []}
+        barrier = threading.Barrier(2)
+
+        def drive(name):
+            with event_sink(lambda ev, **p: streams[name].append(p["i"])):
+                barrier.wait()
+                for i in range(50):
+                    emit_event("tick", i=i)
+
+        threads = [threading.Thread(target=drive, args=(n,))
+                   for n in streams]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert streams["a"] == list(range(50))
+        assert streams["b"] == list(range(50))
+
+    def test_writer_event_records_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path) as w, event_sink(w.event):
+            emit_event("fault_injected", kind="inject_nan", fired_at=2)
+            w.append(full_record(1))
+        events = read_events(path, "fault_injected")
+        assert events[0]["kind"] == "inject_nan"
+        # event records never pollute the step stream, or vice versa
+        assert [r["step"] for r in read_telemetry(path)] == [1]
 
 
 class TestLedgerExport:

@@ -19,11 +19,13 @@ from repro.runtime import (
     RunConfig,
     SimulationRunner,
     TELEMETRY_FIELDS,
+    read_events,
     read_telemetry,
     summarize,
 )
 from repro.runtime.config import (
     CheckpointConfig,
+    FaultsConfig,
     GridConfig,
     GuardConfig,
     ScheduleConfig,
@@ -280,3 +282,136 @@ class TestGuardsInTheLoop:
         assert 0 < manifest["last_step"] < 50
         # and the drain checkpoint is valid
         final_checkpoint(tmp_path / "run", manifest["last_step"])
+
+
+class TestRotationFamilies:
+    def test_corrupt_files_rotate_on_the_same_budget(self, tmp_path):
+        """Quarantined corpses must not accumulate without bound."""
+        cfg = plasma_config(
+            n_steps=10,
+            checkpoint=CheckpointConfig(every_steps=2, keep_last=3),
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        ck_dir = tmp_path / "run" / CHECKPOINT_DIR
+        for step in range(1, 8):  # a long history of quarantined corpses
+            (ck_dir / (checkpoint_name(step) + ".corrupt")).write_bytes(b"x")
+        assert runner.run() == EXIT_COMPLETE
+        corrupt = sorted(p.name for p in ck_dir.glob("ck_*.npz.corrupt"))
+        assert corrupt == [checkpoint_name(s) + ".corrupt" for s in (5, 6, 7)]
+        # and the valid family still rotated to its own newest 3
+        valid = sorted(p.name for p in ck_dir.glob("ck_*.npz"))
+        assert valid == [checkpoint_name(s) for s in (6, 8, 10)]
+
+    def test_rotation_never_deletes_pending_rollback_point(self, tmp_path):
+        """While a rollback is pending, its restore point is sacred even
+        when the retention window would rotate it away."""
+        cfg = plasma_config(n_steps=4,
+                            checkpoint=CheckpointConfig(keep_last=2))
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        ck_dir = tmp_path / "run" / CHECKPOINT_DIR
+        for step in range(1, 6):
+            (ck_dir / checkpoint_name(step)).write_bytes(b"x")
+        oldest = ck_dir / checkpoint_name(1)
+        runner._rollback_protect = oldest  # a rollback restored from it
+        runner._rotate(ck_dir)
+        assert oldest.exists()
+        names = sorted(p.name for p in ck_dir.glob("ck_*.npz"))
+        assert names == [checkpoint_name(s) for s in (1, 4, 5)]
+        # once a newer checkpoint supersedes the restore point, it rotates
+        runner._rollback_protect = None
+        runner._rotate(ck_dir)
+        assert sorted(p.name for p in ck_dir.glob("ck_*.npz")) == [
+            checkpoint_name(4), checkpoint_name(5)]
+
+    def test_rollback_run_keeps_restore_point_protected(self, tmp_path):
+        """End to end: keep_last=1 plus a mid-run rollback — rotation
+        happens between the restore and the next write, and must not
+        take the only state the run can roll back onto."""
+        cfg = plasma_config(
+            n_steps=6,
+            checkpoint=CheckpointConfig(every_steps=1, keep_last=1),
+            guards=GuardConfig(nan="rollback"),
+            faults=FaultsConfig(seed=3, events=[
+                {"kind": "inject_nan", "step": 4},
+            ]),
+        )
+        runner = SimulationRunner.create(cfg, tmp_path / "run")
+        assert runner.run() == EXIT_COMPLETE
+        manifest = runner.manifest()
+        assert manifest["rollbacks"] == 1
+        final_checkpoint(tmp_path / "run", 6)
+
+
+class TestConcurrentRunners:
+    def test_event_streams_are_byte_disjoint(self, tmp_path):
+        """Two in-process runners, one injecting faults: every event must
+        land in its own run's telemetry.jsonl (the sink is contextual,
+        not a process global)."""
+        import threading
+
+        cfg_chaos = plasma_config(
+            n_steps=5, name="t-chaos",
+            faults=FaultsConfig(seed=2, events=[
+                {"kind": "inject_negative", "step": s} for s in (1, 3, 5)
+            ]),
+        )
+        cfg_quiet = plasma_config(n_steps=5, name="t-quiet")
+        barrier = threading.Barrier(2)
+        codes = {}
+
+        def drive(name, cfg):
+            runner = SimulationRunner.create(cfg, tmp_path / name)
+            barrier.wait()
+            codes[name] = runner.run()
+
+        threads = [
+            threading.Thread(target=drive, args=("chaos", cfg_chaos)),
+            threading.Thread(target=drive, args=("quiet", cfg_quiet)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert codes == {"chaos": EXIT_COMPLETE, "quiet": EXIT_COMPLETE}
+
+        injected = read_events(tmp_path / "chaos" / TELEMETRY_NAME,
+                               "fault_injected")
+        assert [e["fired_at"] for e in injected] == [1, 3, 5]
+        # not one of the neighbor's injections leaked across the thread
+        # boundary (the quiet run still emits its own layout events)
+        assert read_events(tmp_path / "quiet" / TELEMETRY_NAME,
+                           "fault_injected") == []
+        for name in ("chaos", "quiet"):
+            steps = [r["step"] for r in
+                     read_telemetry(tmp_path / name / TELEMETRY_NAME)]
+            assert steps == [1, 2, 3, 4, 5]
+
+    def test_concurrent_runs_bitwise_match_serial(self, tmp_path):
+        """Concurrency must not perturb arithmetic: per-thread FFT
+        workspaces and layout engines keep concurrent runs bitwise
+        identical to the same configs run serially."""
+        import threading
+
+        configs = {
+            "a": plasma_config(n_steps=3, name="t-a",
+                               params={"amplitude": 0.01, "mode": 1}),
+            "b": plasma_config(n_steps=3, name="t-b",
+                               params={"amplitude": 0.02, "mode": 2}),
+        }
+
+        def drive(sub, name):
+            SimulationRunner.create(configs[name],
+                                    tmp_path / sub / name).run()
+
+        threads = [threading.Thread(target=drive, args=("conc", n))
+                   for n in configs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name in configs:
+            drive("ser", name)
+        for name in configs:
+            _, f_conc, _, _ = final_checkpoint(tmp_path / "conc" / name, 3)
+            _, f_ser, _, _ = final_checkpoint(tmp_path / "ser" / name, 3)
+            assert np.array_equal(f_conc, f_ser)
