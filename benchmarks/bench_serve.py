@@ -1,0 +1,190 @@
+"""Serving-tier cost: async diagnostics tax and cached-query speedup.
+
+Two gates guard the tier's two promises:
+
+* the background :class:`~repro.serve.pipeline.DiagnosticsPipeline` keeps
+  snapshot + analysis I/O **off the step critical path** — a run with
+  diagnostics at cadence must cost at most a small fraction more wall
+  clock than the identical run without them (the submit-side copy is the
+  only on-thread work);
+* the :class:`~repro.serve.query.QueryEngine`'s content-addressed cache
+  makes warm queries **cheap** — a cache hit must beat the cold
+  compute-from-chunks path by a wide margin, and return bitwise-identical
+  arrays while doing it.
+
+Opt-in job: skipped unless ``REPRO_BENCH=1``; ``REPRO_BENCH_SMOKE=1``
+shrinks the workload and disables the gates and result-file writes.
+
+Run standalone with ``python benchmarks/bench_serve.py`` or via
+``REPRO_BENCH=1 pytest benchmarks/bench_serve.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_ENABLED = os.environ.get("REPRO_BENCH", "") == "1"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+pytestmark = [
+    pytest.mark.bench,
+    pytest.mark.skipif(
+        not BENCH_ENABLED, reason="benchmark job: set REPRO_BENCH=1 to run"
+    ),
+]
+
+NX, NU = (32, 64) if SMOKE else (128, 256)
+N_STEPS = 6 if SMOKE else 30
+DT = 0.1
+DIAG_EVERY = 2 if SMOKE else 5
+#: Acceptance ceiling on the step-loop tax of cadenced async diagnostics.
+MAX_DIAG_TAX_FRACTION = 0.10
+#: Acceptance floor on warm-query speedup over the cold compute path.
+MIN_CACHE_SPEEDUP = 5.0
+#: Mesh of the synthetic density field the query benchmark serves.
+QUERY_MESH = 32 if SMOKE else 64
+
+
+def _run(every_steps: int | None) -> float:
+    """One plasma run through the runner, diagnostics on or off."""
+    from repro.runtime import RunConfig, SimulationRunner
+    from repro.runtime.config import (
+        DiagnosticsConfig,
+        GridConfig,
+        ScheduleConfig,
+    )
+
+    config = RunConfig(
+        scenario="plasma",
+        name="bench-serve",
+        grid=GridConfig(nx=(NX,), nu=(NU,), box_size=4 * np.pi, v_max=6.0),
+        schedule=ScheduleConfig(kind="time", dt=DT, n_steps=N_STEPS),
+        diagnostics=DiagnosticsConfig(every_steps=every_steps),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        runner = SimulationRunner.create(config, Path(tmp) / "run")
+        t0 = time.perf_counter()
+        code = runner.run()
+        elapsed = time.perf_counter() - t0
+    assert code == 0
+    return elapsed
+
+
+def diagnostics_tax() -> tuple[float, float, float]:
+    """Run seconds with cadenced async diagnostics on vs off.
+
+    Interleaved min-of-N so machine drift hits both sides equally.  The
+    "on" side includes everything the tier adds to the *step loop*: the
+    submit-side copies plus any backpressure stalls; the worker's own
+    compute/IO overlaps the steps and must mostly vanish from the total.
+    """
+    on_times, off_times = [], []
+    _run(every_steps=None)  # warm-up (plans, allocator, page cache)
+    for _ in range(1 if SMOKE else 3):
+        on_times.append(_run(every_steps=DIAG_EVERY))
+        off_times.append(_run(every_steps=None))
+    with_diag, without_diag = min(on_times), min(off_times)
+    return with_diag, without_diag, with_diag / without_diag - 1.0
+
+
+def cached_query_speedup() -> tuple[float, float, float]:
+    """Cold compute-from-chunks vs warm cache hit on one power query.
+
+    The store is a synthetic chunked snapshot (a pure N-D density mesh;
+    the query layer never needs the 2N-D phase-space f), large enough
+    that the FFT + binning dominate the cold path.  The warm result is
+    asserted bitwise-identical before it is timed.
+    """
+    from repro.core.mesh import PhaseSpaceGrid
+    from repro.io.snapshot import write_snapshot_chunked
+    from repro.serve import QueryEngine
+
+    rng = np.random.default_rng(7)
+    n = QUERY_MESH
+    grid = PhaseSpaceGrid(nx=(n, n, n), nu=(2, 2, 2), box_size=100.0,
+                          v_max=1.0)
+    density = rng.random((n, n, n))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-query-") as tmp:
+        snap = Path(tmp) / "diagnostics" / "snap_00000001"
+        write_snapshot_chunked(snap, grid, fields={"density": density},
+                               extra={"step": 1, "coord": {"t": 0.0}})
+        engine = QueryEngine(Path(tmp))
+
+        def cold() -> dict:
+            # drop the cache entry so every cold rep recomputes
+            for entry in engine.cache.cache_dir.glob("*.npz"):
+                entry.unlink()
+            t0 = time.perf_counter()
+            out = engine.query("power", n_bins=16)
+            return out, time.perf_counter() - t0
+
+        reps = 2 if SMOKE else 5
+        cold_out, _ = cold()  # warm-up + reference result
+        cold_s = min(cold()[1] for _ in range(reps))
+        warm_out = engine.query("power", n_bins=16)
+        assert warm_out["cached"], "second query must hit the cache"
+        for name in ("k", "p", "counts"):
+            assert np.array_equal(cold_out[name], warm_out[name]), (
+                f"warm {name} is not bitwise-identical to the cold compute"
+            )
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            engine.query("power", n_bins=16)
+        warm_s = (time.perf_counter() - t0) / reps
+    return cold_s, warm_s, cold_s / warm_s
+
+
+def report() -> tuple[str, float, float]:
+    with_diag, without_diag, tax = diagnostics_tax()
+    cold_s, warm_s, speedup = cached_query_speedup()
+    lines = [
+        f"workload: plasma {NX}x{NU}, {N_STEPS} steps, diagnostics every "
+        f"{DIAG_EVERY}",
+        f"run, diagnostics off    : {without_diag:8.3f} s",
+        f"run, diagnostics on     : {with_diag:8.3f} s",
+        f"async diagnostics tax   : {tax:+8.2%}  (ceiling "
+        f"{MAX_DIAG_TAX_FRACTION:.0%})",
+        f"query mesh              : {QUERY_MESH}^3 density",
+        f"cold query (compute)    : {cold_s * 1e3:8.2f} ms",
+        f"warm query (cache hit)  : {warm_s * 1e3:8.2f} ms",
+        f"cached-query speedup    : {speedup:8.1f}x  (floor "
+        f"{MIN_CACHE_SPEEDUP:.0f}x)",
+    ]
+    return "\n".join(lines), tax, speedup
+
+
+def test_serve_tier_cheap():
+    text, tax, speedup = report()
+    print("\n===== serve =====\n" + text)
+    if SMOKE:
+        print("smoke mode: serve gates skipped")
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.txt").write_text(text + "\n")
+    payload = {
+        "diagnostics_tax": tax,
+        "cached_query_speedup": speedup,
+        "workload": f"{NX}x{NU}x{N_STEPS}",
+        "query_mesh": QUERY_MESH,
+    }
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert tax < MAX_DIAG_TAX_FRACTION, (
+        f"async diagnostics tax {tax:.1%} exceeds {MAX_DIAG_TAX_FRACTION:.0%}"
+    )
+    assert speedup > MIN_CACHE_SPEEDUP, (
+        f"cached-query speedup {speedup:.1f}x below {MIN_CACHE_SPEEDUP:.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    print(report()[0])

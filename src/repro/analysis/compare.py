@@ -25,6 +25,23 @@ from ..nbody.particles import ParticleSet
 from ..nbody.pm import assign_mass
 
 
+def _ngp_cells(
+    positions: np.ndarray, grid: PhaseSpaceGrid
+) -> tuple[np.ndarray, ...]:
+    """Periodic NGP cell index per particle and spatial axis.
+
+    Matches :func:`repro.nbody.pm.assign_mass`'s NGP convention
+    (``floor(pos/box*n) % n``): a particle at or past the box edge wraps
+    onto cell 0 instead of being clipped into cell n-1.
+    """
+    return tuple(
+        np.floor(
+            positions[:, d] / grid.box_size * grid.nx[d]
+        ).astype(np.int64) % grid.nx[d]
+        for d in range(grid.dim)
+    )
+
+
 def particle_moments_on_grid(
     particles: ParticleSet, grid: PhaseSpaceGrid, window: str = "ngp"
 ) -> dict[str, np.ndarray]:
@@ -37,16 +54,11 @@ def particle_moments_on_grid(
     rho = assign_mass(
         particles.positions, particles.masses, grid.nx, grid.box_size, window
     )
-    # velocity moments: NGP binning of m*u and m*u^2
-    n_mesh = np.array(grid.nx)
-    idx1 = tuple(
-        np.clip(
-            (particles.positions[:, d] / grid.box_size * n_mesh[d]).astype(np.int64),
-            0,
-            n_mesh[d] - 1,
-        )
-        for d in range(grid.dim)
-    )
+    # velocity moments: NGP binning of m*u and m*u^2, wrapped exactly
+    # like assign_mass's NGP window (floor then mod) — clipping to the
+    # last cell put boundary particles' velocity contributions in a
+    # different cell than their mass, so the moment fields disagreed.
+    idx1 = _ngp_cells(particles.positions, grid)
     flat = np.ravel_multi_index(idx1, grid.nx)
     m = particles.masses
     msum = np.bincount(flat, weights=m, minlength=int(np.prod(grid.nx)))
@@ -128,15 +140,7 @@ def particle_velocity_histogram(
     bins: np.ndarray,
 ) -> np.ndarray:
     """Fig. 5's open circles: particle speeds in the same spatial cell."""
-    n_mesh = np.array(grid.nx)
-    idx = tuple(
-        np.clip(
-            (particles.positions[:, d] / grid.box_size * n_mesh[d]).astype(np.int64),
-            0,
-            n_mesh[d] - 1,
-        )
-        for d in range(grid.dim)
-    )
+    idx = _ngp_cells(particles.positions, grid)
     in_cell = np.ones(particles.n, dtype=bool)
     for d in range(grid.dim):
         in_cell &= idx[d] == cell[d]
@@ -171,7 +175,7 @@ def compare_noise(
     v = vlasov_moments_on_grid(f, grid)
     p = particle_moments_on_grid(particles, grid)
     rho_v, rho_p = v["density"], p["density"]
-    scale = rho_v.mean()
+    scale = max(float(rho_v.mean()), 1e-30)
     dens_rms = float(np.sqrt(((rho_p - rho_v) ** 2).mean()) / scale)
 
     vel_scale = max(float(np.abs(v["velocity"]).max()), 1e-30)

@@ -10,6 +10,7 @@ without writing a script:
 * ``resume``   — continue an interrupted run from its run directory;
 * ``campaign`` — run/resume a parameter-sweep campaign from a spec;
 * ``verify``   — check the integrity of a run's checkpoints;
+* ``serve``    — list/query a run's stored diagnostics products;
 * ``scaling``  — print Tables 2-4 + the time-to-solution report;
 * ``memory``   — per-node memory audit of the Table 2 runs;
 * ``schemes``  — list the advection schemes and their properties.
@@ -178,6 +179,77 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a run's stored diagnostics products.
+
+    ``repro serve list <run_dir>`` tabulates the stored snapshots;
+    ``repro serve query <run_dir> --product ...`` computes (or answers
+    from the content-addressed cache) one derived product.  Exit 0 on
+    success, 1 when the store is missing or the query cannot be
+    answered.
+    """
+    import json as _json
+    import time
+
+    import numpy as np
+
+    from repro.serve import QueryEngine
+
+    try:
+        engine = QueryEngine(args.run_dir, use_cache=not args.no_cache)
+    except FileNotFoundError as exc:
+        print(f"serve: {exc}")
+        return 1
+
+    if args.action == "list":
+        rows = engine.describe()
+        if not rows:
+            print(f"serve: no snapshots under {engine.store_dir}")
+            return 1
+        if args.json:
+            print(_json.dumps(rows, indent=2))
+            return 0
+        for row in rows:
+            coord = ", ".join(f"{k}={v:.4g}" for k, v in row["coord"].items())
+            print(f"{row['snapshot']}  step={row['step']:<6} {coord:<14} "
+                  f"fields: {', '.join(row['fields'])}")
+        return 0
+
+    t0 = time.perf_counter()
+    try:
+        result = engine.query(
+            args.product, step=args.step, field=args.field,
+            field_b=args.field_b, n_bins=args.n_bins,
+            axis=args.axis, index=args.index,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"serve: {exc}")
+        return 1
+    elapsed = time.perf_counter() - t0
+    if args.json:
+        payload = {
+            k: (v.tolist() if isinstance(v, np.ndarray) else
+                float(v) if isinstance(v, np.floating) else v)
+            for k, v in result.items()
+        }
+        payload["seconds"] = elapsed
+        print(_json.dumps(payload, indent=2))
+        return 0
+    origin = "cache" if result["cached"] else "computed"
+    print(f"{args.product} @ {result['snapshot']}  [{origin}, {elapsed:.3f}s]")
+    for name, value in result.items():
+        if name in ("cached", "snapshot"):
+            continue
+        if isinstance(value, np.ndarray):
+            flat = np.asarray(value)
+            head = ", ".join(f"{v:.6g}" for v in flat.ravel()[:8])
+            tail = ", ..." if flat.size > 8 else ""
+            print(f"  {name}: shape={flat.shape}  [{head}{tail}]")
+        else:
+            print(f"  {name}: {float(value):.6g}")
+    return 0
+
+
 def cmd_scaling(_: argparse.Namespace) -> int:
     """Tables 2-4 and the time-to-solution report."""
     from repro.scaling import (
@@ -286,6 +358,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quarantine", action="store_true",
                    help="rename failing checkpoints to *.corrupt")
 
+    p = sub.add_parser("serve", help="query a run's diagnostics products")
+    p.add_argument("action", choices=("list", "query"),
+                   help="list stored snapshots, or answer one query")
+    p.add_argument("run_dir", help="run directory (or its diagnostics/)")
+    p.add_argument("--product", default="power",
+                   choices=("power", "cross", "correlation", "transfer",
+                            "slice", "moments"),
+                   help="derived product to compute/serve")
+    p.add_argument("--field", default="density",
+                   help="stored field name (default: density)")
+    p.add_argument("--field-b", default=None,
+                   help="second field for cross/correlation/transfer "
+                        "(default: cdm_density when stored)")
+    p.add_argument("--step", type=int, default=None,
+                   help="schedule step to serve (default: newest)")
+    p.add_argument("--n-bins", type=int, default=16,
+                   help="spectral bins (default: 16)")
+    p.add_argument("--axis", type=int, default=0,
+                   help="slice: axis to cut (default: 0)")
+    p.add_argument("--index", type=int, default=None,
+                   help="slice: index along the axis (default: middle)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the product cache (always recompute)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full result as JSON")
+
     sub.add_parser("scaling", help="Tables 2-4 + time-to-solution")
     sub.add_parser("memory", help="per-node memory audit")
     sub.add_parser("schemes", help="list advection schemes")
@@ -301,6 +399,7 @@ _COMMANDS = {
     "resume": cmd_resume,
     "campaign": cmd_campaign,
     "verify": cmd_verify,
+    "serve": cmd_serve,
     "scaling": cmd_scaling,
     "memory": cmd_memory,
     "schemes": cmd_schemes,

@@ -153,6 +153,10 @@ def measure_power(
         k_min, k_max = k_range
     edges = np.geomspace(k_min, k_max, n_bins + 1)
     which = np.digitize(k_flat, edges) - 1
+    # np.digitize is right-open: a mode exactly on the top edge (an
+    # explicit k_range whose max is a grid mode) would land in bin
+    # n_bins and vanish; close the last bin instead.
+    which[k_flat == edges[-1]] = n_bins - 1
     valid = (which >= 0) & (which < n_bins)
     p_sum = np.bincount(which[valid], weights=p_flat[valid], minlength=n_bins)
     w_sum = np.bincount(which[valid], weights=w_flat[valid], minlength=n_bins)

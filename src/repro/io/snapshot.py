@@ -8,7 +8,14 @@ checkpoints additionally carry the full distribution function so a run
 can resume bit-exactly.
 
 Format: a single ``.npz`` container with a JSON-encoded header —
-self-describing, portable, append-free.
+self-describing, portable, append-free.  Snapshots can alternatively be
+written **chunked** (:func:`write_snapshot_chunked`): each moment field
+is split into per-slab ``.npy`` chunks along its leading spatial axis
+under one directory, described by a ``manifest.json``, so a reader
+fetching one slab of one field (:func:`read_snapshot_slab`) touches one
+small file instead of decompressing the whole container — the access
+pattern of the serving tier (:mod:`repro.serve`).  :func:`read_snapshot`
+accepts both forms transparently.
 
 Writes are **atomic**: the container is staged to a temporary file in
 the destination directory and moved into place with ``os.replace``, so
@@ -222,8 +229,15 @@ def write_snapshot(
 
 
 def read_snapshot(path: str | Path, timer: IOTimer | None = None) -> dict:
-    """Read a snapshot; returns header fields plus the stored arrays."""
+    """Read a snapshot; returns header fields plus the stored arrays.
+
+    Accepts either the monolithic ``.npz`` form or a chunked snapshot
+    directory / its ``manifest.json`` (see :func:`write_snapshot_chunked`)
+    — the returned dict has the same shape for both.
+    """
     path = Path(path)
+    if path.is_dir() or path.name == MANIFEST_NAME:
+        return _read_snapshot_chunked(path, timer=timer)
     t0 = time.perf_counter()
     with np.load(path) as data:
         header = json.loads(bytes(data["header"]).decode())
@@ -339,3 +353,262 @@ def read_checkpoint(
     if f.shape != grid.shape:
         raise ValueError("checkpoint f shape does not match its header")
     return grid, f, particles, header
+
+
+# ----------------------------------------------------------------------
+# chunked snapshots: per-slab .npy chunks + a JSON manifest
+# ----------------------------------------------------------------------
+
+#: Manifest filename inside a chunked snapshot directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Default number of slabs each field is split into (clamped to the
+#: field's extent along its chunk axis).
+DEFAULT_CHUNKS = 8
+
+#: Fields this small are not worth splitting: each chunk pays an
+#: open + fsync + rename, which for sub-megabyte slabs costs far more
+#: than slab-granular reads ever save.  The writer shrinks the chunk
+#: count so every chunk is at least this big (set 0 to force splitting).
+MIN_CHUNK_BYTES = 1 << 20
+
+
+def _atomic_save_npy(path: Path, arr: np.ndarray) -> Path:
+    """Write one ``.npy`` chunk atomically; return the real final path."""
+    final = path if path.name.endswith(".npy") else path.with_name(path.name + ".npy")
+    tmp = final.with_name(f".{final.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.save(fh, arr)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return final
+
+
+def _chunk_axis(name: str, shape: tuple[int, ...], grid: PhaseSpaceGrid) -> int:
+    """Which axis of a field is the spatial slab axis.
+
+    Scalar moment fields are ``grid.nx`` (slab along axis 0); vector
+    fields carry a leading component axis (slab along axis 1); particle
+    arrays are per-row (axis 0).
+    """
+    if len(shape) == grid.dim + 1 and shape[1:] == grid.nx:
+        return 1
+    return 0
+
+
+def write_snapshot_chunked(
+    path: str | Path,
+    grid: PhaseSpaceGrid,
+    f: np.ndarray | None = None,
+    particles: ParticleSet | None = None,
+    a: float = 1.0,
+    timer: IOTimer | None = None,
+    extra: dict | None = None,
+    fields: dict[str, np.ndarray] | None = None,
+    n_chunks: int = DEFAULT_CHUNKS,
+    min_chunk_bytes: int = MIN_CHUNK_BYTES,
+) -> Path:
+    """Write a moment-level snapshot as per-slab chunks under a directory.
+
+    Same observable content as :func:`write_snapshot` (``fields`` may
+    override/extend the derived moment set — the serving pipeline passes
+    precomputed moments plus the CDM density mesh), but each field is
+    split into ``n_chunks`` slabs along its spatial axis, one ``.npy``
+    per slab (small fields collapse to fewer slabs so no chunk falls
+    below ``min_chunk_bytes``), described by ``manifest.json``:
+
+    * ``header`` — the usual snapshot header (version, a, geometry,
+      ``extra``), plus ``"chunked": true``;
+    * ``fields`` — per field: dtype, shape, chunk axis, and the chunk
+      table ``[{file, start, stop, crc32}]`` (CRCs omitted when
+      ``REPRO_SNAPSHOT_CRC=0``).
+
+    Chunks are written first and the manifest last (all writes atomic),
+    so a torn write leaves a directory without a manifest — invalid,
+    never silently partial.  Returns the manifest path.
+    """
+    out_dir = Path(path)
+    t0 = time.perf_counter()
+    if fields is None:
+        if f is None:
+            raise ValueError("write_snapshot_chunked needs f or fields")
+        rho = moments.density(f, grid)
+        fields = {
+            "density": rho.astype(np.float32),
+            "velocity": moments.mean_velocity(f, grid, rho).astype(np.float32),
+            "dispersion": moments.velocity_dispersion(f, grid, rho).astype(np.float32),
+        }
+    else:
+        fields = dict(fields)
+    if particles is not None:
+        fields["positions"] = particles.positions
+        fields["velocities"] = particles.velocities
+        fields["masses"] = particles.masses
+    out_dir.mkdir(parents=True, exist_ok=True)
+    total_bytes = 0
+    field_table: dict[str, dict] = {}
+    for name, arr in fields.items():
+        arr = np.asarray(arr)
+        axis = _chunk_axis(name, arr.shape, grid)
+        n = max(1, min(n_chunks, arr.shape[axis]))
+        if min_chunk_bytes > 0:
+            n = max(1, min(n, int(arr.nbytes // min_chunk_bytes)))
+        bounds = np.linspace(0, arr.shape[axis], n + 1).astype(int)
+        chunks = []
+        for i, (start, stop) in enumerate(zip(bounds[:-1], bounds[1:])):
+            sl = [slice(None)] * arr.ndim
+            sl[axis] = slice(int(start), int(stop))
+            chunk = np.ascontiguousarray(arr[tuple(sl)])
+            chunk_path = _atomic_save_npy(out_dir / f"{name}.{i:03d}.npy", chunk)
+            total_bytes += chunk_path.stat().st_size
+            entry = {
+                "file": chunk_path.name,
+                "start": int(start),
+                "stop": int(stop),
+            }
+            if CHECKSUMS_ENABLED:
+                entry["crc32"] = _crc32(chunk)
+            chunks.append(entry)
+        field_table[name] = {
+            "dtype": arr.dtype.name,
+            "shape": list(arr.shape),
+            "axis": axis,
+            "chunks": chunks,
+        }
+    manifest = {
+        "header": {
+            "version": FORMAT_VERSION,
+            "kind": "snapshot",
+            "chunked": True,
+            "a": a,
+            "nx": grid.nx,
+            "nu": grid.nu,
+            "box_size": grid.box_size,
+            "v_max": grid.v_max,
+            "has_particles": particles is not None,
+            "extra": extra or {},
+        },
+        "fields": field_table,
+    }
+    manifest_path = out_dir / MANIFEST_NAME
+    tmp = manifest_path.with_name(f".{manifest_path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, manifest_path)
+    total_bytes += manifest_path.stat().st_size
+    if timer is not None:
+        timer.record_write(time.perf_counter() - t0, total_bytes)
+    return manifest_path
+
+
+def _manifest_dir(path: Path) -> Path:
+    """The snapshot directory for a dir / manifest.json path."""
+    return path.parent if path.name == MANIFEST_NAME else path
+
+
+def snapshot_manifest(path: str | Path) -> dict:
+    """Load a chunked snapshot's manifest (dir or manifest.json path)."""
+    out_dir = _manifest_dir(Path(path))
+    manifest_path = out_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(
+            f"{out_dir} is not a chunked snapshot (no {MANIFEST_NAME})"
+        )
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("header", {}).get("kind") != "snapshot":
+        raise ValueError(f"{manifest_path} is not a snapshot manifest")
+    return manifest
+
+
+def _load_chunk(out_dir: Path, name: str, spec: dict, entry: dict) -> np.ndarray:
+    """Read and (when enabled) CRC-verify one chunk file."""
+    chunk_path = out_dir / entry["file"]
+    chunk = np.load(chunk_path)
+    if CHECKSUMS_ENABLED and "crc32" in entry:
+        actual = _crc32(chunk)
+        if actual != int(entry["crc32"]):
+            raise SnapshotIntegrityError(
+                f"{chunk_path}: chunk of field {name!r} fails its checksum "
+                f"(stored crc32={int(entry['crc32']):#010x}, read "
+                f"{actual:#010x}) — the file was corrupted after it was "
+                "written"
+            )
+    expected_dtype = np.dtype(spec["dtype"])
+    if chunk.dtype != expected_dtype:
+        raise SnapshotIntegrityError(
+            f"{chunk_path}: chunk dtype {chunk.dtype} does not match the "
+            f"manifest ({expected_dtype})"
+        )
+    return chunk
+
+
+def read_snapshot_field(
+    path: str | Path, field: str, timer: IOTimer | None = None
+) -> np.ndarray:
+    """Assemble one full field of a chunked snapshot from its chunks."""
+    out_dir = _manifest_dir(Path(path))
+    t0 = time.perf_counter()
+    manifest = snapshot_manifest(out_dir)
+    try:
+        spec = manifest["fields"][field]
+    except KeyError:
+        raise KeyError(
+            f"{out_dir} has no field {field!r}; available: "
+            f"{sorted(manifest['fields'])}"
+        ) from None
+    chunks = [
+        _load_chunk(out_dir, field, spec, entry) for entry in spec["chunks"]
+    ]
+    arr = np.concatenate(chunks, axis=spec["axis"]) if len(chunks) > 1 else chunks[0]
+    if arr.shape != tuple(spec["shape"]):
+        raise SnapshotIntegrityError(
+            f"{out_dir}: field {field!r} reassembles to {arr.shape}, "
+            f"manifest says {tuple(spec['shape'])}"
+        )
+    if timer is not None:
+        timer.record_read(time.perf_counter() - t0, arr.nbytes)
+    return arr
+
+
+def read_snapshot_slab(
+    path: str | Path, field: str, chunk: int, timer: IOTimer | None = None
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Fetch a single slab of one field without touching its siblings.
+
+    Returns ``(slab, (start, stop))`` — the slab's index range along the
+    field's chunk axis.  This is the read path the manifest exists for:
+    one small ``.npy`` instead of the whole container.
+    """
+    out_dir = _manifest_dir(Path(path))
+    t0 = time.perf_counter()
+    manifest = snapshot_manifest(out_dir)
+    spec = manifest["fields"][field]
+    entries = spec["chunks"]
+    if not -len(entries) <= chunk < len(entries):
+        raise IndexError(
+            f"field {field!r} has {len(entries)} chunks, asked for {chunk}"
+        )
+    entry = entries[chunk]
+    slab = _load_chunk(out_dir, field, spec, entry)
+    if timer is not None:
+        timer.record_read(time.perf_counter() - t0, slab.nbytes)
+    return slab, (int(entry["start"]), int(entry["stop"]))
+
+
+def _read_snapshot_chunked(path: Path, timer: IOTimer | None = None) -> dict:
+    """The chunked branch of :func:`read_snapshot`: assemble everything."""
+    out_dir = _manifest_dir(path)
+    t0 = time.perf_counter()
+    manifest = snapshot_manifest(out_dir)
+    out = {"header": manifest["header"]}
+    nbytes = 0
+    for name in manifest["fields"]:
+        out[name] = read_snapshot_field(out_dir, name)
+        nbytes += out[name].nbytes
+    if timer is not None:
+        timer.record_read(time.perf_counter() - t0, nbytes)
+    return out

@@ -131,6 +131,27 @@ class EngineConfig:
 
 
 @dataclass
+class DiagnosticsConfig:
+    """The always-on analysis tier (:mod:`repro.serve.pipeline`).
+
+    ``every_steps`` is the submission cadence (``None``, the default,
+    disables the tier entirely — TOML has no null, so a missing key and
+    the default agree).  The background worker computes moment fields
+    and binned spectra and stores them as chunked snapshots under the
+    run directory's ``diagnostics/``; ``queue_max``/``on_full`` bound
+    the submit queue and pick the full-queue policy (``"block"`` never
+    loses a product, ``"drop"`` never stalls the step loop).
+    """
+
+    every_steps: int | None = None
+    n_bins: int = 16
+    queue_max: int = 2
+    on_full: str = "block"
+    spectra: bool = True
+    n_chunks: int = 8
+
+
+@dataclass
 class RecoveryConfig:
     """The ``rollback`` guard policy's budget and aggressiveness.
 
@@ -180,6 +201,7 @@ class RunConfig:
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     guards: GuardConfig = field(default_factory=GuardConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     params: dict = field(default_factory=dict)
@@ -243,6 +265,17 @@ class RunConfig:
                 f"engine.layout {e.layout!r} not in ('auto', 'packed', "
                 f"'in_place')"
             )
+        d = self.diagnostics
+        if d.every_steps is not None and d.every_steps < 1:
+            raise ValueError("diagnostics.every_steps must be >= 1 or null")
+        if d.n_bins < 1:
+            raise ValueError("diagnostics.n_bins must be >= 1")
+        if d.queue_max < 1:
+            raise ValueError("diagnostics.queue_max must be >= 1")
+        if d.on_full not in ("block", "drop"):
+            raise ValueError("diagnostics.on_full must be 'block' or 'drop'")
+        if d.n_chunks < 1:
+            raise ValueError("diagnostics.n_chunks must be >= 1")
         r = self.recovery
         if r.max_attempts < 1:
             raise ValueError("recovery.max_attempts must be >= 1")
@@ -283,6 +316,7 @@ class RunConfig:
             ("checkpoint", CheckpointConfig),
             ("guards", GuardConfig),
             ("engine", EngineConfig),
+            ("diagnostics", DiagnosticsConfig),
             ("recovery", RecoveryConfig),
             ("faults", FaultsConfig),
         ):

@@ -7,6 +7,9 @@ A :class:`SimulationRunner` owns one **run directory**::
         telemetry.jsonl     # one record per step (runtime.telemetry)
         checkpoints/
             ck_00000010.npz # rotated, keep_last newest survive
+        diagnostics/        # serving tier (config [diagnostics] section):
+            snap_*/         #   chunked moment-field snapshots
+            products.jsonl  #   one spectra record per stored snapshot
 
 and turns any scenario's driver into a production run with the paper's
 operational discipline:
@@ -30,6 +33,12 @@ operational discipline:
   the ledger/guards, and re-runs — bounded by ``recovery.max_attempts``,
   after which it escalates to the abort path
   (:mod:`repro.runtime.recovery`);
+* **always-on analysis** — with ``diagnostics.every_steps`` set, a
+  :class:`~repro.serve.pipeline.DiagnosticsPipeline` worker stores
+  moment fields and binned spectra under ``diagnostics/`` at that
+  cadence, off the step critical path; its lifecycle lands in the
+  telemetry stream as ``diagnostics_*`` events and the stored products
+  are served by ``repro serve`` (:mod:`repro.serve`);
 * **chaos injection** — an optional :class:`~repro.runtime.faults.FaultPlan`
   (``[faults]`` config section, ``REPRO_FAULTS`` env, or the ``run()``
   argument) fires deterministic worker kills, checkpoint corruption,
@@ -88,6 +97,7 @@ EXIT_GUARD_ABORT = 70
 MANIFEST_NAME = "run.json"
 TELEMETRY_NAME = "telemetry.jsonl"
 CHECKPOINT_DIR = "checkpoints"
+DIAGNOSTICS_DIR = "diagnostics"
 
 
 def checkpoint_name(step: int) -> str:
@@ -179,6 +189,28 @@ class SimulationRunner:
             engine.fault_hook = fault_plan.worker_fault
 
         stepper = build_stepper(config, timer=self.timer, engine=engine)
+
+        # The serving tier: a background worker storing moment fields
+        # and spectra under diagnostics/ at its own cadence.  It gets
+        # the telemetry writer's *bound method* as its sink, not the
+        # contextual emit_event — the contextvar installed above is
+        # invisible from the worker thread.
+        pipeline = None
+        diag_cfg = config.diagnostics
+        if diag_cfg.every_steps is not None:
+            from ..serve.pipeline import DiagnosticsPipeline
+
+            pipeline = DiagnosticsPipeline(
+                self.run_dir / DIAGNOSTICS_DIR,
+                stepper.grid,
+                n_bins=diag_cfg.n_bins,
+                queue_max=diag_cfg.queue_max,
+                on_full=diag_cfg.on_full,
+                spectra=diag_cfg.spectra,
+                event_sink=telemetry.event,
+                n_chunks=diag_cfg.n_chunks,
+            )
+
         state = find_latest_valid_checkpoint(
             ck_dir, timer=self.io_timer, quarantine_corrupt=True
         )
@@ -202,6 +234,7 @@ class SimulationRunner:
                       f"{ck_dir.name}/ — restarting from step 0",
                       file=sys.stderr)
 
+        last_diag_step = stepper.index
         recovery = RecoveryManager(ck_dir, config.recovery,
                                    timer=self.io_timer)
         self.ledger = ConservationLedger()
@@ -278,6 +311,7 @@ class SimulationRunner:
                     )
                     guard_suite = GuardSuite(config.guards, self.ledger)
                     last_ck_step = stepper.index
+                    last_diag_step = stepper.index
                     last_ck_time = time.monotonic()
                     print(f"runner: rollback {recovery.attempts}/"
                           f"{recovery.config.max_attempts} to step "
@@ -286,6 +320,21 @@ class SimulationRunner:
                     continue
 
                 done = stepper.index >= stepper.n_steps
+                if pipeline is not None and (
+                    stepper.index - last_diag_step >= diag_cfg.every_steps
+                    or (done and stepper.index != last_diag_step)
+                ):
+                    # the submit copies f on this thread; moments, FFTs
+                    # and disk I/O happen on the worker.  A dropped
+                    # submission (on_full="drop", queue full) leaves
+                    # last_diag_step alone so the next step retries.
+                    with self.timer.section("diagnostics_submit"):
+                        accepted = pipeline.submit(
+                            stepper.index, stepper.coordinate(),
+                            stepper.f, stepper.particles,
+                        )
+                    if accepted:
+                        last_diag_step = stepper.index
                 due = not done and (
                     (ck_cfg.every_steps is not None
                      and stepper.index - last_ck_step >= ck_cfg.every_steps)
@@ -331,6 +380,11 @@ class SimulationRunner:
         finally:
             for sig, handler in old_handlers.items():
                 signal.signal(sig, handler)
+            # The pipeline drains and closes BEFORE the telemetry stream:
+            # its worker publishes diagnostics_* events through
+            # telemetry.event right up to the closing summary.
+            if pipeline is not None:
+                pipeline.close()
             set_event_sink(prev_sink)
             telemetry.close()
             if engine is not None:

@@ -34,8 +34,11 @@ schema documented in ``docs/RUNTIME.md``; the tests assert the match):
 
 Besides the per-step records the stream also carries **event records**
 (fault injections, worker-pool degradations, checkpoint quarantines,
-rollback attempts): one JSON object per event with an ``"event"`` key
-naming the kind plus free-form fields.  Events interleave with step
+rollback attempts, and the serving tier's ``diagnostics_enqueued`` /
+``diagnostics_written`` / ``diagnostics_dropped`` /
+``diagnostics_error`` / ``diagnostics_closed`` lifecycle): one JSON
+object per event with an ``"event"`` key naming the kind plus
+free-form fields.  Events interleave with step
 records in arrival order; :func:`read_events` filters them back out and
 :func:`summarize` reports them separately, so the per-step schema stays
 strict.  Subsystems that cannot hold a writer (the pencil engine, the
@@ -59,6 +62,7 @@ from __future__ import annotations
 import contextvars
 import json
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -161,22 +165,34 @@ def emit_event(kind: str, /, **fields) -> None:
 
 
 class TelemetryWriter:
-    """Append-only JSONL writer with per-record flush."""
+    """Append-only JSONL writer with per-record flush.
+
+    Writes are serialized by a lock: the diagnostics pipeline's worker
+    thread publishes ``diagnostics_*`` events through :meth:`event`
+    while the runner's thread appends step records, and two interleaved
+    ``write`` calls would tear both lines.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
 
     def event(self, kind: str, /, **fields) -> None:
         """Write one event record (``{"event": kind, ...fields}``).
 
         Events are schema-free apart from the ``event`` key and a
         wall-clock ``when`` stamp; they interleave with step records and
-        are filtered back out by :func:`read_events`.
+        are filtered back out by :func:`read_events`.  Thread-safe — the
+        diagnostics worker calls this concurrently with :meth:`append`.
         """
         record = {"event": kind, "when": time.time(), **fields}
-        self._fh.write(json.dumps(record, cls=_JsonSanitizer) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, cls=_JsonSanitizer) + "\n"
+        with self._lock:
+            if self._fh.closed:  # worker outliving the stream loses the event
+                return
+            self._fh.write(line)
+            self._fh.flush()
 
     def append(self, record: dict) -> None:
         """Write one record (keys must match :data:`TELEMETRY_FIELDS`)."""
@@ -188,13 +204,16 @@ class TelemetryWriter:
                 f"extra={sorted(extra)}"
             )
         ordered = {key: record[key] for key in TELEMETRY_FIELDS}
-        self._fh.write(json.dumps(ordered, cls=_JsonSanitizer) + "\n")
-        self._fh.flush()
+        line = json.dumps(ordered, cls=_JsonSanitizer) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
 
     def close(self) -> None:
         """Close the stream (idempotent)."""
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     def __enter__(self) -> "TelemetryWriter":
         return self

@@ -1,0 +1,326 @@
+"""Incremental diagnostics on a background worker.
+
+The runner submits ``(step, coord, f, particles)`` tuples at its
+snapshot cadence; a single worker thread computes the moment fields,
+writes them as a chunked snapshot (:func:`repro.io.snapshot.
+write_snapshot_chunked`), runs the spectral estimators from
+:mod:`repro.analysis`, and appends one JSON line per snapshot to
+``products.jsonl``.  The step loop pays only for the defensive copy of
+``f`` at submit time — moments, FFTs and disk I/O all happen off the
+critical path (the tax is gated in ``benchmarks/bench_serve.py``).
+
+Backpressure is explicit: the submit queue is bounded, and ``on_full``
+picks the failure mode — ``"block"`` (default; the step loop waits, no
+product is ever lost) or ``"drop"`` (the submission is discarded with a
+``diagnostics_dropped`` telemetry event; step latency is protected).
+
+The worker publishes telemetry through the ``event_sink`` callable the
+runner hands it (its own ``TelemetryWriter.event``), *not* through the
+context-local :func:`repro.runtime.telemetry.emit_event` — the sink
+contextvar installed on the runner's thread is invisible from the
+worker thread.  Events: ``diagnostics_enqueued`` / ``diagnostics_written``
+/ ``diagnostics_dropped`` / ``diagnostics_error``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..analysis.spectra import correlation_coefficient, cross_power, transfer_ratio
+from ..core import moments
+from ..core.mesh import PhaseSpaceGrid
+from ..io.snapshot import IOTimer, write_snapshot_chunked
+from ..nbody.particles import ParticleSet
+
+__all__ = ["DiagnosticsPipeline", "PRODUCTS_NAME", "read_products", "snapshot_name"]
+
+#: Per-snapshot product records, one JSON object per line.
+PRODUCTS_NAME = "products.jsonl"
+
+
+def snapshot_name(step: int) -> str:
+    """Canonical chunked-snapshot directory name for a schedule position."""
+    return f"snap_{step:08d}"
+
+
+def _overdensity(rho: np.ndarray) -> np.ndarray:
+    """delta = rho / <rho> - 1 in float64 (the spectra's input)."""
+    rho = np.asarray(rho, dtype=np.float64)
+    mean = rho.mean()
+    if mean == 0.0:
+        return rho
+    return rho / mean - 1.0
+
+
+class DiagnosticsPipeline:
+    """One background worker turning run states into stored products.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory the snapshots, ``products.jsonl`` and (later) the
+        query cache live under; created on first use.
+    grid:
+        The run's phase-space grid (moment kernels need the geometry).
+    n_bins, spectra:
+        Spectral binning resolution, and whether to compute spectra at
+        all (moment fields are always written).
+    queue_max, on_full:
+        Submit-queue bound and the full-queue policy (``"block"`` /
+        ``"drop"``).
+    event_sink:
+        Optional ``sink(kind, **fields)`` the worker publishes telemetry
+        events through (the runner passes its ``TelemetryWriter.event``,
+        which is thread-safe).
+    n_chunks:
+        Slabs per stored field (see ``write_snapshot_chunked``).
+    """
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        grid: PhaseSpaceGrid,
+        n_bins: int = 16,
+        queue_max: int = 2,
+        on_full: str = "block",
+        spectra: bool = True,
+        event_sink: Callable[..., None] | None = None,
+        n_chunks: int = 8,
+    ) -> None:
+        if on_full not in ("block", "drop"):
+            raise ValueError("on_full must be 'block' or 'drop'")
+        self.out_dir = Path(out_dir)
+        self.grid = grid
+        self.n_bins = int(n_bins)
+        self.on_full = on_full
+        self.spectra = bool(spectra)
+        self.n_chunks = int(n_chunks)
+        self.io_timer = IOTimer()
+        self._event_sink = event_sink
+        self._queue: queue.Queue = queue.Queue(maxsize=int(queue_max))
+        self._closed = False
+        self.submitted = 0
+        self.written = 0
+        self.dropped = 0
+        self.errors = 0
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-diagnostics", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # the producer side (the runner's step loop)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        step: int,
+        coord: dict[str, float],
+        f: np.ndarray,
+        particles: ParticleSet | None = None,
+    ) -> bool:
+        """Enqueue one run state; returns whether it was accepted.
+
+        The state is copied *here*, on the caller's thread — the stepper
+        mutates ``f`` and the particle arrays in place, so the worker
+        must own frozen bytes.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        coord = {k: float(v) for k, v in coord.items()}
+        item = (
+            int(step),
+            coord,
+            np.array(f, copy=True),
+            None if particles is None else ParticleSet(
+                particles.positions.copy(),
+                particles.velocities.copy(),
+                particles.masses.copy(),
+                particles.box_size,
+            ),
+        )
+        if self.on_full == "drop":
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.dropped += 1
+                self._emit("diagnostics_dropped", step=int(step),
+                           queue_depth=self._queue.qsize())
+                return False
+        else:
+            self._queue.put(item)
+        self.submitted += 1
+        self._emit("diagnostics_enqueued", step=int(step),
+                   queue_depth=self._queue.qsize())
+        return True
+
+    def drain(self) -> None:
+        """Block until every accepted submission has been processed."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain, stop the worker, and emit the run-level summary event."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+        self._emit("diagnostics_closed", **self.stats())
+
+    def stats(self) -> dict:
+        """Counters for telemetry and tests."""
+        return {
+            "submitted": self.submitted,
+            "written": self.written,
+            "dropped": self.dropped,
+            "errors": self.errors,
+            "io_write_seconds": self.io_timer.write_seconds,
+            "io_bytes_written": self.io_timer.bytes_written,
+        }
+
+    def __enter__(self) -> "DiagnosticsPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the worker side
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._event_sink is None:
+            return
+        try:
+            self._event_sink(kind, **fields)
+        except Exception:  # pragma: no cover - telemetry must not kill us
+            pass
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            try:
+                self._process(*item)
+            except Exception as exc:  # noqa: BLE001 - report, keep serving
+                self.errors += 1
+                self._emit("diagnostics_error", step=item[0],
+                           error=f"{type(exc).__name__}: {exc}")
+            finally:
+                self._queue.task_done()
+
+    def _moment_fields(
+        self, f: np.ndarray, particles: ParticleSet | None
+    ) -> dict[str, np.ndarray]:
+        """The stored field set: Vlasov moments (+ CDM density mesh)."""
+        rho = moments.density(f, self.grid)
+        fields = {
+            "density": rho.astype(np.float32),
+            "velocity": moments.mean_velocity(f, self.grid, rho).astype(np.float32),
+            "dispersion": moments.velocity_dispersion(
+                f, self.grid, rho
+            ).astype(np.float32),
+        }
+        if particles is not None:
+            from ..nbody.pm import assign_mass
+
+            fields["cdm_density"] = assign_mass(
+                particles.positions, particles.masses, self.grid.nx,
+                self.grid.box_size, "cic",
+            ).astype(np.float32)
+        return fields
+
+    def _spectra(self, fields: dict[str, np.ndarray]) -> dict:
+        """Binned auto/cross/transfer spectra of the moment fields."""
+        box = self.grid.box_size
+        delta_nu = _overdensity(fields["density"])
+        k, p_nu, counts = cross_power(delta_nu, delta_nu, box, self.n_bins)
+        out = {
+            "k": k.tolist(),
+            "p_density": p_nu.tolist(),
+            "mode_counts": counts.tolist(),
+        }
+        if "cdm_density" in fields:
+            delta_c = _overdensity(fields["cdm_density"])
+            _, p_c, _ = cross_power(delta_c, delta_c, box, self.n_bins)
+            _, p_x, _ = cross_power(delta_nu, delta_c, box, self.n_bins)
+            k_r, r = correlation_coefficient(delta_nu, delta_c, box, self.n_bins)
+            k_t, t = transfer_ratio(delta_nu, delta_c, box, self.n_bins)
+            out.update(
+                p_cdm=p_c.tolist(),
+                p_cross=p_x.tolist(),
+                k_ratio=k_t.tolist(),
+                correlation=r.tolist(),
+                transfer_nu_cdm=t.tolist(),
+            )
+        return out
+
+    def _process(
+        self,
+        step: int,
+        coord: dict[str, float],
+        f: np.ndarray,
+        particles: ParticleSet | None,
+    ) -> None:
+        t0 = time.perf_counter()
+        fields = self._moment_fields(f, particles)
+        snap_dir = self.out_dir / snapshot_name(step)
+        write_snapshot_chunked(
+            snap_dir, self.grid, particles=particles,
+            a=coord.get("a", 1.0), timer=self.io_timer,
+            extra={"step": step, "coord": coord},
+            fields=fields, n_chunks=self.n_chunks,
+        )
+        record = {
+            "step": step,
+            "coord": coord,
+            "snapshot": snap_dir.name,
+            "fields": sorted(fields) + (
+                ["positions", "velocities", "masses"] if particles is not None
+                else []
+            ),
+        }
+        if self.spectra:
+            record["spectra"] = self._spectra(fields)
+        record["wall_s"] = time.perf_counter() - t0
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        with open(self.out_dir / PRODUCTS_NAME, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+        self.written += 1
+        self._emit("diagnostics_written", step=step,
+                   wall_s=record["wall_s"],
+                   queue_depth=self._queue.qsize())
+
+
+def read_products(path: str | Path) -> Iterator[dict]:
+    """Yield the product records of a diagnostics directory, in order.
+
+    ``path`` is the diagnostics directory or the ``products.jsonl``
+    itself; a torn final line (the process died mid-write) is skipped.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / PRODUCTS_NAME
+    if not path.exists():
+        return
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record

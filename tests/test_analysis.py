@@ -129,6 +129,61 @@ class TestMomentComparison:
         assert rho.std() / rho.mean() < 1e-6
 
 
+class TestBoundaryParticles:
+    """Regression: velocity/dispersion binning used to *clip* boundary
+    particles into the last cell while assign_mass *wrapped* them onto
+    cell 0, so mass and momentum landed in different cells."""
+
+    def _edge_set(self, grid):
+        # one particle exactly on the upper box edge per axis, plus an
+        # interior control particle
+        pos = np.array([
+            [grid.box_size, 0.3 * grid.box_size],
+            [0.3 * grid.box_size, grid.box_size],
+            [0.4 * grid.box_size, 0.4 * grid.box_size],
+        ])
+        vel = np.array([[1.0, 0.0], [0.0, -2.0], [0.5, 0.5]])
+        return ParticleSet(pos, vel, np.ones(3), grid.box_size)
+
+    def test_mass_and_velocity_share_a_cell(self):
+        grid = PhaseSpaceGrid(nx=(5, 5), nu=(4, 4), box_size=1.0, v_max=1.0)
+        particles = self._edge_set(grid)
+        m = particle_moments_on_grid(particles, grid, window="ngp")
+        # wherever NGP mass landed, the velocity moment must be nonzero
+        # for particles with nonzero velocity — cell (0, 1) holds the
+        # first edge particle (x wraps to 0), with v_x = 1
+        occupied = m["density"] > 0
+        assert occupied.sum() == 3
+        assert m["density"][0, 1] > 0
+        assert m["velocity"][0][0, 1] == pytest.approx(1.0)
+        assert m["velocity"][1][1, 0] == pytest.approx(-2.0)
+        # and no orphaned velocity in cells that carry no mass
+        for d in range(grid.dim):
+            assert np.all(m["velocity"][d][~occupied] == 0.0)
+
+    def test_histogram_wraps_like_mass(self):
+        grid = PhaseSpaceGrid(nx=(5, 5), nu=(4, 4), box_size=1.0, v_max=1.0)
+        particles = self._edge_set(grid)
+        bins = np.linspace(0.0, 3.0, 10)
+        # the first edge particle wraps to cell (0, 1): its speed-1 mass
+        # must show up there, not in the clipped cell (4, 1)
+        assert particle_velocity_histogram(
+            particles, grid, (0, 1), bins).sum() == pytest.approx(1.0)
+        assert particle_velocity_histogram(
+            particles, grid, (4, 1), bins).sum() == 0.0
+
+    def test_compare_noise_finite_on_empty_f(self):
+        """A zero distribution function must not divide by zero."""
+        grid = PhaseSpaceGrid(nx=(4, 4), nu=(4, 4), box_size=1.0, v_max=1.0)
+        rng = np.random.default_rng(3)
+        particles = ParticleSet(
+            rng.random((50, 2)), rng.normal(size=(50, 2)), np.ones(50), 1.0
+        )
+        nc = compare_noise(np.zeros(grid.shape), grid, particles)
+        assert np.isfinite(nc.density_rms_diff)
+        assert np.isfinite(nc.dispersion_rms_diff)
+
+
 class TestVelocityDistribution:
     def test_fig5_smooth_vs_sampled(self, matched_pair):
         """Fig. 5: the Vlasov velocity distribution at one spatial cell is

@@ -94,6 +94,46 @@ class TestCrossPower:
         with pytest.raises(ValueError):
             cross_power(np.zeros((8, 8)), np.zeros((4, 4)), 1.0)
 
+    def test_cross_mesh_transfer_ratio_aligned(self, rng):
+        """Regression: fields on *different* meshes used to get per-field
+        bin edges, so the ratio divided spectra at mismatched k."""
+        box = 100.0
+        coarse = gaussian_field(FourierGrid((16, 16, 16), box),
+                                lambda k: np.ones_like(k), rng)
+        fine = gaussian_field(FourierGrid((24, 24, 24), box),
+                              lambda k: np.ones_like(k), rng)
+        k, t = transfer_ratio(fine, coarse, box, n_bins=6)
+        assert len(k) == len(t) > 0
+        assert np.all(np.isfinite(t)) and np.all(t > 0)
+        # unit-power realizations: the ratio scatters around 1, never
+        # around the wild values mismatched binning produced
+        assert 0.3 < np.median(t) < 3.0
+        # shared edges stop at the coarser mesh's k_max
+        k_nyq_coarse = np.pi * 16 / box
+        assert k.max() <= np.sqrt(3) * k_nyq_coarse * 1.01
+        # and the degenerate same-mesh case is unchanged by the rebinning
+        _, t_same = transfer_ratio(0.5 * fine, fine, box, n_bins=6)
+        assert np.allclose(t_same, 0.5, rtol=1e-10)
+
+    def test_cross_mesh_correlation_same_mesh_required(self, rng):
+        """correlation/cross need one mesh; transfer is the cross-mesh API."""
+        with pytest.raises(ValueError):
+            correlation_coefficient(np.zeros((8, 8)), np.zeros((12, 12)), 1.0)
+
+    def test_top_edge_mode_not_dropped(self, rng):
+        """Regression: an explicit k_range whose max *is* a grid mode lost
+        that mode to np.digitize's right-open bins; Parseval catches it."""
+        box = 10.0
+        grid = FourierGrid((12, 12, 12), box)
+        delta = gaussian_field(grid, lambda k: np.ones_like(k), rng)
+        k_mag = grid.k_magnitude()
+        k_range = (2 * np.pi / box * 0.99, float(k_mag.max()))
+        k, p, w = cross_power(delta, delta, box, n_bins=8, k_range=k_range)
+        # sum of P(k) weighted by mode counts recovers the field variance
+        # (Parseval); dropping the corner mode leaves a ~5e-4 deficit
+        var = float(delta.var()) * box**3
+        assert (p * w).sum() == pytest.approx(var, rel=1e-10)
+
     def test_dimensionless_power_scaling(self, rng):
         grid = FourierGrid((24, 24, 24), 50.0)
         delta = gaussian_field(grid, lambda k: 10.0 * np.ones_like(k), rng)

@@ -1,0 +1,340 @@
+"""The serving tier: chunked snapshots, the diagnostics pipeline, and
+the content-addressed query layer (``repro.serve``)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.mesh import PhaseSpaceGrid
+from repro.io.snapshot import (
+    MANIFEST_NAME,
+    SnapshotIntegrityError,
+    read_snapshot,
+    read_snapshot_field,
+    read_snapshot_slab,
+    snapshot_manifest,
+    write_snapshot,
+    write_snapshot_chunked,
+)
+from repro.serve import DiagnosticsPipeline, QueryEngine, read_products
+from repro.serve.pipeline import snapshot_name
+
+
+@pytest.fixture
+def grid() -> PhaseSpaceGrid:
+    return PhaseSpaceGrid(nx=(12, 12), nu=(8, 8), box_size=3.0, v_max=2.5)
+
+
+@pytest.fixture
+def f(grid, rng) -> np.ndarray:
+    return rng.random(grid.shape)
+
+
+class TestChunkedSnapshot:
+    def test_round_trip_matches_legacy_moments(self, grid, f, tmp_path):
+        """Chunked and monolithic writers store the same moment fields."""
+        legacy = write_snapshot(tmp_path / "legacy.npz", grid, f, a=0.5)
+        chunked = write_snapshot_chunked(tmp_path / "snap", grid, f, a=0.5,
+                                         n_chunks=3)
+        ref = read_snapshot(legacy)
+        out = read_snapshot(chunked)  # read_snapshot dispatches on layout
+        assert out["header"]["a"] == ref["header"]["a"]
+        for name in ("density", "velocity", "dispersion"):
+            np.testing.assert_array_equal(out[name], ref[name])
+
+    def test_field_and_slab_reads(self, grid, f, tmp_path):
+        snap = write_snapshot_chunked(tmp_path / "snap", grid, f, n_chunks=4,
+                                      min_chunk_bytes=0)
+        whole = read_snapshot_field(snap, "density")
+        assert whole.shape == grid.nx
+        manifest = snapshot_manifest(snap)
+        spec = manifest["fields"]["density"]
+        reassembled = []
+        for i, entry in enumerate(spec["chunks"]):
+            slab, (start, stop) = read_snapshot_slab(snap, "density", i)
+            assert (start, stop) == (entry["start"], entry["stop"])
+            assert slab.shape[spec["axis"]] == stop - start
+            reassembled.append(slab)
+        np.testing.assert_array_equal(
+            np.concatenate(reassembled, axis=spec["axis"]), whole
+        )
+
+    def test_vector_fields_chunk_on_axis_one(self, grid, f, tmp_path):
+        """The component axis of velocity/dispersion must stay whole."""
+        snap = write_snapshot_chunked(tmp_path / "snap", grid, f, n_chunks=3,
+                                      min_chunk_bytes=0)
+        manifest = snapshot_manifest(snap)
+        assert manifest["fields"]["velocity"]["axis"] == 1
+        assert len(manifest["fields"]["velocity"]["chunks"]) == 3
+        assert manifest["fields"]["density"]["axis"] == 0
+        vel = read_snapshot_field(snap, "velocity")
+        assert vel.shape == (grid.dim, *grid.nx)
+
+    def test_corrupt_chunk_detected(self, grid, f, tmp_path):
+        snap = tmp_path / "snap"
+        write_snapshot_chunked(snap, grid, f, n_chunks=2)
+        manifest = snapshot_manifest(snap)
+        victim = snap / manifest["fields"]["density"]["chunks"][0]["file"]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotIntegrityError):
+            read_snapshot_field(snap, "density")
+
+    def test_more_chunks_than_extent_degrades(self, grid, f, tmp_path):
+        """n_chunks beyond the slab axis extent must not create empties."""
+        snap = write_snapshot_chunked(tmp_path / "snap", grid, f, n_chunks=64,
+                                      min_chunk_bytes=0)
+        manifest = snapshot_manifest(snap)
+        for spec in manifest["fields"].values():
+            for entry in spec["chunks"]:
+                assert entry["stop"] > entry["start"]
+        np.testing.assert_array_equal(
+            read_snapshot_field(snap, "density").shape, grid.nx
+        )
+
+    def test_small_fields_collapse_to_few_chunks(self, grid, f, tmp_path):
+        """Sub-megabyte fields must not shatter into fsync-heavy slivers."""
+        snap = write_snapshot_chunked(tmp_path / "snap", grid, f, n_chunks=8)
+        manifest = snapshot_manifest(snap)
+        for spec in manifest["fields"].values():  # every field is tiny here
+            assert len(spec["chunks"]) == 1
+
+
+class TestDiagnosticsPipeline:
+    def test_products_and_events(self, grid, f, tmp_path):
+        events = []
+        pipe = DiagnosticsPipeline(
+            tmp_path / "diag", grid, n_bins=5,
+            event_sink=lambda kind, **kw: events.append(kind),
+        )
+        with pipe:
+            for step in (1, 2, 3):
+                assert pipe.submit(step, {"t": 0.1 * step}, f * step)
+        records = list(read_products(tmp_path / "diag"))
+        assert [r["step"] for r in records] == [1, 2, 3]
+        for step in (1, 2, 3):
+            assert (tmp_path / "diag" / snapshot_name(step)
+                    / MANIFEST_NAME).exists()
+        assert "density" in records[0]["fields"]
+        assert len(records[0]["spectra"]["k"]) > 0
+        assert events.count("diagnostics_enqueued") == 3
+        assert events.count("diagnostics_written") == 3
+        assert events[-1] == "diagnostics_closed"
+        assert pipe.stats()["written"] == 3
+
+    def test_drop_mode_sheds_load(self, grid, f, tmp_path):
+        release = threading.Event()
+        pipe = DiagnosticsPipeline(tmp_path / "diag", grid, queue_max=1,
+                                   on_full="drop", spectra=False)
+        original = pipe._process
+
+        def slow_process(*item):
+            release.wait(timeout=10.0)
+            original(*item)
+
+        pipe._process = slow_process
+        accepted = [pipe.submit(s, {"t": 0.0}, f) for s in range(4)]
+        release.set()
+        pipe.close()
+        # the worker holds one item, the queue one more: later submits drop
+        assert accepted[0] and not all(accepted)
+        assert pipe.dropped == accepted.count(False)
+        assert pipe.written == accepted.count(True)
+
+    def test_worker_owns_a_frozen_copy(self, grid, f, tmp_path):
+        """Mutating f after submit must not leak into the stored product."""
+        release = threading.Event()
+        pipe = DiagnosticsPipeline(tmp_path / "diag", grid, spectra=False)
+        original = pipe._process
+
+        def gated(*item):
+            release.wait(timeout=10.0)
+            original(*item)
+
+        pipe._process = gated
+        from repro.core import moments
+
+        expected = moments.density(f, grid).astype(np.float32)
+        pipe.submit(1, {"t": 0.0}, f)
+        f[:] = 0.0  # the stepper advancing in place
+        release.set()
+        pipe.close()
+        stored = read_snapshot_field(tmp_path / "diag" / snapshot_name(1),
+                                     "density")
+        np.testing.assert_array_equal(stored, expected)
+
+    def test_worker_error_is_contained(self, grid, f, tmp_path):
+        events = []
+        pipe = DiagnosticsPipeline(
+            tmp_path / "diag", grid,
+            event_sink=lambda kind, **kw: events.append((kind, kw)),
+        )
+        pipe._moment_fields = lambda *a: (_ for _ in ()).throw(RuntimeError("boom"))
+        pipe.submit(1, {"t": 0.0}, f)
+        pipe.close()
+        assert pipe.errors == 1 and pipe.written == 0
+        kinds = [k for k, _ in events]
+        assert "diagnostics_error" in kinds
+
+
+class TestQueryEngine:
+    @pytest.fixture
+    def store(self, grid, f, tmp_path):
+        with DiagnosticsPipeline(tmp_path / "diagnostics", grid,
+                                 n_bins=5) as pipe:
+            pipe.submit(2, {"t": 0.2}, f)
+            pipe.submit(4, {"t": 0.4}, f**2)  # nonlinear: distinct spectra
+        return tmp_path
+
+    def test_warm_hit_bitwise_identical(self, store):
+        engine = QueryEngine(store)
+        cold = engine.query("power", n_bins=5)
+        warm = engine.query("power", n_bins=5)
+        assert not cold["cached"] and warm["cached"]
+        for name in ("k", "p", "counts"):
+            assert np.array_equal(cold[name], warm[name])
+        assert cold[name].dtype == warm[name].dtype
+
+    def test_no_cache_recomputes(self, store):
+        engine = QueryEngine(store, use_cache=False)
+        first = engine.query("power", n_bins=5)
+        second = engine.query("power", n_bins=5)
+        assert not first["cached"] and not second["cached"]
+        assert engine.cache.stats()["entries"] == 0
+
+    def test_params_address_distinct_entries(self, store):
+        engine = QueryEngine(store)
+        a = engine.query("power", n_bins=5)
+        b = engine.query("power", n_bins=7)
+        c = engine.query("power", n_bins=5, step=2)
+        assert not b["cached"] and not c["cached"]
+        assert len(a["k"]) != len(b["k"]) or not np.array_equal(a["k"], b["k"])
+        assert not np.array_equal(a["p"], c["p"])
+
+    def test_rewritten_snapshot_misses(self, grid, f, store):
+        """Content addressing: new bytes under the same name re-compute."""
+        engine = QueryEngine(store)
+        engine.query("moments", step=4)
+        write_snapshot_chunked(store / "diagnostics" / snapshot_name(4), grid,
+                               f * 5.0, n_chunks=8,
+                               extra={"step": 4, "coord": {"t": 0.4}})
+        fresh = QueryEngine(store).query("moments", step=4)
+        assert not fresh["cached"]
+
+    def test_slice_matches_full_field(self, store):
+        engine = QueryEngine(store)
+        manifest = snapshot_manifest(engine.resolve_step(4))
+        full = read_snapshot_field(engine.resolve_step(4), "density")
+        for axis in (0, 1):
+            out = engine.query("slice", step=4, field="density",
+                               axis=axis, index=3)
+            np.testing.assert_array_equal(out["plane"],
+                                          np.take(full, 3, axis=axis))
+        assert manifest["fields"]["density"]["axis"] == 0
+
+    def test_transfer_between_snapshots_fields(self, store):
+        engine = QueryEngine(store)
+        out = engine.query("transfer", step=4, field="density",
+                           field_b="density", n_bins=5)
+        np.testing.assert_allclose(out["t"], 1.0, rtol=1e-10)
+
+    def test_missing_field_reports_inventory(self, store):
+        with pytest.raises(KeyError, match="available"):
+            QueryEngine(store).query("power", field="nope")
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            QueryEngine(tmp_path / "nowhere")
+
+
+class TestRunnerIntegration:
+    @pytest.fixture
+    def run_dir(self, tmp_path):
+        from repro.runtime.config import RunConfig
+        from repro.runtime.runner import SimulationRunner
+
+        config = RunConfig.from_dict({
+            "scenario": "plasma",
+            "grid": {"nx": [16], "nu": [16]},
+            "schedule": {"n_steps": 4, "dt": 0.05},
+            "diagnostics": {"every_steps": 2, "n_bins": 4, "n_chunks": 2},
+        })
+        runner = SimulationRunner.create(config, tmp_path / "run")
+        assert runner.run() == 0
+        return tmp_path / "run"
+
+    def test_diagnostics_ride_the_run(self, run_dir):
+        records = list(read_products(run_dir / "diagnostics"))
+        assert [r["step"] for r in records] == [2, 4]
+        assert all("spectra" in r for r in records)
+
+    def test_telemetry_carries_lifecycle_events(self, run_dir):
+        from repro.runtime.telemetry import read_events, read_telemetry
+
+        written = read_events(run_dir / "telemetry.jsonl",
+                              "diagnostics_written")
+        assert [e["step"] for e in written] == [2, 4]
+        closed = read_events(run_dir / "telemetry.jsonl",
+                             "diagnostics_closed")
+        assert len(closed) == 1 and closed[0]["written"] == 2
+        # the worker's interleaved events must not tear step records
+        assert len(read_telemetry(run_dir / "telemetry.jsonl")) == 4
+
+    def test_query_layer_serves_the_run(self, run_dir):
+        engine = QueryEngine(run_dir)
+        cold = engine.query("power", n_bins=4)
+        warm = engine.query("power", n_bins=4)
+        assert warm["cached"]
+        assert np.array_equal(cold["p"], warm["p"])
+
+    def test_disabled_by_default(self, tmp_path):
+        from repro.runtime.config import RunConfig
+        from repro.runtime.runner import SimulationRunner
+
+        config = RunConfig.from_dict({
+            "scenario": "plasma",
+            "grid": {"nx": [16], "nu": [16]},
+            "schedule": {"n_steps": 2, "dt": 0.05},
+        })
+        runner = SimulationRunner.create(config, tmp_path / "run")
+        assert runner.run() == 0
+        assert not (tmp_path / "run" / "diagnostics").exists()
+
+
+class TestServeCli:
+    @pytest.fixture
+    def run_dir(self, grid, tmp_path, rng):
+        f = rng.random(grid.shape)
+        with DiagnosticsPipeline(tmp_path / "run" / "diagnostics", grid,
+                                 n_bins=4) as pipe:
+            pipe.submit(1, {"t": 0.1}, f)
+        return tmp_path / "run"
+
+    def test_list(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "list", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert snapshot_name(1) in out and "density" in out
+
+    def test_query_warm_and_cold(self, run_dir, capsys):
+        from repro.cli import main
+
+        argv = ["serve", "query", str(run_dir), "--product", "power",
+                "--n-bins", "4", "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert not cold["cached"] and warm["cached"]
+        assert cold["p"] == warm["p"]
+
+    def test_bad_store_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "list", str(tmp_path / "missing")]) == 1
