@@ -51,6 +51,10 @@ DT = 0.1
 #: Acceptance ceiling on the scheduling tax: campaign-at-K=1 wall clock
 #: over the identical configs run serially by hand.
 MAX_SCHED_OVERHEAD = 0.10
+#: Acceptance ceiling on the supervision tax: the fully supervised
+#: fault-free K=3 campaign (leases, watchdog ticks, supervisor.jsonl)
+#: over the bare direct-dispatch scheduler on the same sweep.
+MAX_SUPERVISION_TAX = 0.05
 
 
 def _campaign_config(concurrency: int):
@@ -87,47 +91,59 @@ def _serial_reference(config) -> float:
         return time.perf_counter() - t0
 
 
-def _campaign(concurrency: int) -> float:
-    """The sweep through the campaign scheduler at the given K."""
+def _campaign(concurrency: int, supervise: bool = False) -> float:
+    """The sweep through the campaign scheduler at the given K.
+
+    ``supervise=False`` is the direct-dispatch scheduler (the pre-
+    supervision baseline); ``supervise=True`` adds the full supervision
+    tier — lease per attempt, watchdog monitor ticks, the retry policy,
+    and the ``supervisor.jsonl`` event stream — on a fault-free sweep,
+    which is exactly the tax :data:`MAX_SUPERVISION_TAX` gates.
+    """
     from repro.campaign import Campaign
 
     config = _campaign_config(concurrency)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         campaign = Campaign.create(config, Path(tmp) / "c")
         t0 = time.perf_counter()
-        code = campaign.run()
+        code = campaign.run(supervise=supervise)
         elapsed = time.perf_counter() - t0
     assert code == 0
     return elapsed
 
 
-def report() -> tuple[str, float]:
+def report() -> tuple[str, float, float]:
     config = _campaign_config(1)
     n_points = len(config.points())
     reps = 1 if SMOKE else 2
     _serial_reference(config)  # warm-up (plans, allocator, page cache)
     serial = min(_serial_reference(config) for _ in range(reps))
     k1 = min(_campaign(1) for _ in range(reps))
-    k3 = _campaign(3)
+    k3 = min(_campaign(3) for _ in range(reps))
+    k3_sup = min(_campaign(3, supervise=True) for _ in range(reps))
 
     overhead = k1 / serial - 1.0
+    tax = k3_sup / k3 - 1.0
     lines = [
         f"workload: {n_points}-point plasma sweep, {NX}x{NU}, "
         f"{N_STEPS} steps each (slmpp5)",
-        f"serial runner loop   : {serial:8.3f} s",
-        f"campaign K=1 (threads): {k1:7.3f} s",
-        f"campaign K=3 (threads): {k3:7.3f} s  (reported, not gated)",
-        f"scheduling overhead  : {overhead:+8.2%}  (ceiling "
+        f"serial runner loop    : {serial:8.3f} s",
+        f"campaign K=1 (threads) : {k1:7.3f} s",
+        f"campaign K=3 direct    : {k3:7.3f} s",
+        f"campaign K=3 supervised: {k3_sup:7.3f} s",
+        f"scheduling overhead   : {overhead:+8.2%}  (ceiling "
         f"{MAX_SCHED_OVERHEAD:.0%})",
+        f"supervision tax (K=3) : {tax:+8.2%}  (ceiling "
+        f"{MAX_SUPERVISION_TAX:.0%})",
     ]
-    return "\n".join(lines), overhead
+    return "\n".join(lines), overhead, tax
 
 
 def test_campaign_scheduling_overhead_small():
-    text, overhead = report()
+    text, overhead, tax = report()
     print("\n===== campaign_overhead =====\n" + text)
     if SMOKE:
-        print("smoke mode: overhead gate skipped")
+        print("smoke mode: overhead gates skipped")
         return
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_campaign.txt").write_text(text + "\n")
@@ -135,7 +151,12 @@ def test_campaign_scheduling_overhead_small():
         f"campaign scheduling overhead {overhead:.1%} exceeds "
         f"{MAX_SCHED_OVERHEAD:.0%}"
     )
+    assert tax < MAX_SUPERVISION_TAX, (
+        f"campaign supervision tax {tax:.1%} exceeds "
+        f"{MAX_SUPERVISION_TAX:.0%}"
+    )
     payload = {"overhead": overhead,
+               "supervision_tax": tax,
                "workload": f"4x{NX}x{NU}x{N_STEPS}"}
     (RESULTS_DIR / "BENCH_campaign.json").write_text(
         json.dumps(payload, indent=2) + "\n"

@@ -4,17 +4,38 @@ The campaign layer turns the single-run orchestration of
 :mod:`repro.runtime` into the paper's actual operating mode — a *suite*
 of runs (mass hierarchies × resolutions × schemes, Table 2) executed
 concurrently under a shared CPU budget, with a persistent per-run state
-manifest and campaign-level resume.  Exposed on the CLI as ``repro
-campaign <spec>`` / ``repro campaign resume <dir>``; see
-``docs/CAMPAIGN.md`` for the spec format, the executor interface, and
-the exit-code semantics.
+manifest, campaign-level resume, and a supervision tier (leases,
+failure-classified retries, resource watchdogs — see
+:mod:`repro.campaign.supervision`) that keeps a multi-day sweep alive
+through worker deaths and stalled runs.  Exposed on the CLI as ``repro
+campaign <spec>`` / ``repro campaign resume <dir>`` / ``repro campaign
+worker <dir>``; see ``docs/CAMPAIGN.md`` for the spec format, the
+executor interface, and the exit-code semantics.
 """
 
 from .aggregate import aggregate_rows, format_table
-from .config import EXECUTOR_NAMES, CampaignConfig, SweepPoint
+from .config import (
+    EXECUTOR_NAMES,
+    CampaignConfig,
+    LimitsConfig,
+    RetryConfig,
+    SweepPoint,
+)
 from .executors import Executor, ProcessExecutor, ThreadExecutor, build_executor
 from .manifest import MANIFEST_NAME, RUN_STATES, CampaignManifest
-from .scheduler import RUN_CONFIG_NAME, RUNS_DIR, Campaign
+from .remote import QueueExecutor, run_worker
+from .scheduler import RUN_CONFIG_NAME, RUNS_DIR, SUPERVISOR_LOG, Campaign
+from .supervision import (
+    FAILURE_CLASSES,
+    LEASE_NAME,
+    ExecutorUnavailable,
+    LeaseExpired,
+    Outcome,
+    RetryPolicy,
+    RunLease,
+    Supervisor,
+    classify_exit,
+)
 
 __all__ = [
     "Campaign",
@@ -24,12 +45,26 @@ __all__ = [
     "Executor",
     "ProcessExecutor",
     "ThreadExecutor",
+    "QueueExecutor",
     "build_executor",
+    "run_worker",
     "aggregate_rows",
     "format_table",
+    "LimitsConfig",
+    "RetryConfig",
+    "RunLease",
+    "RetryPolicy",
+    "Supervisor",
+    "Outcome",
+    "LeaseExpired",
+    "ExecutorUnavailable",
+    "classify_exit",
     "EXECUTOR_NAMES",
+    "FAILURE_CLASSES",
+    "LEASE_NAME",
     "MANIFEST_NAME",
     "RUN_STATES",
     "RUNS_DIR",
     "RUN_CONFIG_NAME",
+    "SUPERVISOR_LOG",
 ]

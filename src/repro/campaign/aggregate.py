@@ -30,11 +30,13 @@ def aggregate_rows(manifest: CampaignManifest) -> list[dict]:
     """
     rows: list[dict] = []
     for run_id, entry in manifest.runs.items():
+        history = entry.get("history", [])
         row = {
             "run_id": run_id,
             "state": entry["state"],
             "exit_code": entry["exit_code"],
             "attempts": entry["attempts"],
+            "failure_class": history[-1].get("class") if history else None,
             "overrides": dict(entry["overrides"]),
             "steps": 0,
             "last_coord": None,
@@ -70,13 +72,16 @@ def _fmt_coord(coord) -> str:
 
 def format_table(rows: list[dict]) -> str:
     """Render aggregate rows as an aligned text table."""
-    header = (f"{'run':>6} {'state':>8} {'exit':>4} {'steps':>5} "
+    header = (f"{'run':>6} {'state':>8} {'exit':>4} {'try':>3} "
+              f"{'class':>9} {'steps':>5} "
               f"{'wall[s]':>8} {'drift':>9} {'coord':>10}  sweep")
     lines = [header, "-" * len(header)]
     for row in rows:
         exit_code = "-" if row["exit_code"] is None else str(row["exit_code"])
+        cls = row.get("failure_class") or "-"
         lines.append(
             f"{row['run_id']:>6} {row['state']:>8} {exit_code:>4} "
+            f"{row['attempts']:>3} {cls:>9} "
             f"{row['steps']:>5} {row['wall_s_total']:>8.2f} "
             f"{row['max_drift']:>9.2e} {_fmt_coord(row['last_coord']):>10}  "
             f"{_fmt_overrides(row['overrides'])}"

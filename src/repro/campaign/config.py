@@ -37,6 +37,7 @@ from its manifest alone.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import itertools
 import json
 import os
@@ -45,11 +46,20 @@ from pathlib import Path
 
 from ..runtime.config import RunConfig, apply_override, toml_dumps
 
-__all__ = ["EXECUTOR_NAMES", "CampaignConfig", "SweepPoint"]
+__all__ = [
+    "EXECUTOR_NAMES",
+    "CampaignConfig",
+    "LimitsConfig",
+    "RetryConfig",
+    "SweepPoint",
+]
 
 #: Executor implementations the scheduler can build (see
-#: campaign.executors; the interface admits remote executors later).
-EXECUTOR_NAMES = ("processes", "threads")
+#: campaign.executors and campaign.remote): ``processes`` (one OS
+#: subprocess per run), ``threads`` (in-process runners) and ``queue``
+#: (spool-file jobs drained by separate ``repro campaign worker``
+#: processes, possibly on other hosts sharing the filesystem).
+EXECUTOR_NAMES = ("processes", "threads", "queue")
 
 
 def _available_cores() -> int:
@@ -66,6 +76,62 @@ class SweepPoint:
     run_id: str
     overrides: dict
     config: RunConfig
+
+
+@dataclass
+class LimitsConfig:
+    """Per-run resource budgets enforced by the campaign supervisor.
+
+    ``wall_seconds`` and ``rss_mb`` are per-attempt ceilings (``None``,
+    the default, disables each — TOML has no null, so a missing key and
+    the default agree).  An over-budget run is drained gracefully first
+    (a ``DRAIN`` flag in its run directory plus SIGTERM when the
+    executor holds a process handle → the runner checkpoints and exits
+    75) and SIGKILLed after ``grace_seconds`` if the drain does not
+    land.  ``lease_seconds`` is the heartbeat horizon: a run whose
+    lease/telemetry shows no progress for this long is declared stalled
+    and reclaimed.  ``poll_seconds`` paces the supervisor's monitor
+    loop (and the queue executor's result polling).
+
+    RSS is read from the run's own telemetry (``rss_mb`` is peak RSS of
+    the *run process*), so the budget is meaningful for the process and
+    queue executors; thread-executor runs share the scheduler's RSS and
+    only the drain-flag path applies to them.
+    """
+
+    wall_seconds: float | None = None
+    rss_mb: float | None = None
+    lease_seconds: float = 30.0
+    grace_seconds: float = 5.0
+    poll_seconds: float = 0.25
+
+
+@dataclass
+class RetryConfig:
+    """Failure-classified retry budgets and backoff.
+
+    ``max_attempts`` bounds the attempts one point may take per
+    scheduler invocation (1 = dispatch once, never retry in-pass; a
+    fresh ``repro campaign resume`` always gets a fresh budget).
+    ``campaign_budget`` additionally caps the *total* retries across
+    the whole invocation (``None`` = unbounded).  Only ``transient``
+    outcomes (signal death, lease expiry, spawn failure) are retried by
+    default; ``resumable`` drains (exit 75 — an orderly max-steps/
+    budget drain that the next resume pass owns) are retried in-pass
+    only with ``retry_resumable = true``.  ``permanent`` outcomes
+    (guard aborts, exit 70) are never retried.  Backoff between
+    attempts is capped exponential — ``min(cap, base * 2**(n-1))`` —
+    with deterministic seeded jitter so two schedulers sharing a
+    filesystem do not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    campaign_budget: int | None = None
+    retry_resumable: bool = False
+    backoff_base: float = 0.2
+    backoff_cap: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
 
 
 @dataclass
@@ -94,6 +160,8 @@ class CampaignConfig:
     cpus_per_run: int = 1
     cpu_budget: int | None = None
     max_steps: int | None = None
+    limits: LimitsConfig = field(default_factory=LimitsConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
 
     # ------------------------------------------------------------------
     # validation and expansion
@@ -120,6 +188,26 @@ class CampaignConfig:
             raise ValueError("cpu_budget must be >= 1 or null")
         if self.max_steps is not None and self.max_steps < 1:
             raise ValueError("max_steps must be >= 1 or null")
+        lim = self.limits
+        if lim.wall_seconds is not None and lim.wall_seconds <= 0.0:
+            raise ValueError("limits.wall_seconds must be positive or null")
+        if lim.rss_mb is not None and lim.rss_mb <= 0.0:
+            raise ValueError("limits.rss_mb must be positive or null")
+        if lim.lease_seconds <= 0.0:
+            raise ValueError("limits.lease_seconds must be positive")
+        if lim.grace_seconds <= 0.0:
+            raise ValueError("limits.grace_seconds must be positive")
+        if lim.poll_seconds <= 0.0:
+            raise ValueError("limits.poll_seconds must be positive")
+        r = self.retry
+        if r.max_attempts < 1:
+            raise ValueError("retry.max_attempts must be >= 1")
+        if r.campaign_budget is not None and r.campaign_budget < 0:
+            raise ValueError("retry.campaign_budget must be >= 0 or null")
+        if r.backoff_base < 0.0 or r.backoff_cap < 0.0:
+            raise ValueError("retry backoff values must be >= 0")
+        if r.jitter < 0.0:
+            raise ValueError("retry.jitter must be >= 0")
         for key, values in self.sweep.items():
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(
@@ -171,6 +259,8 @@ class CampaignConfig:
             "cpus_per_run": self.cpus_per_run,
             "cpu_budget": self.cpu_budget,
             "max_steps": self.max_steps,
+            "limits": dataclasses.asdict(self.limits),
+            "retry": dataclasses.asdict(self.retry),
         }
 
     @classmethod
@@ -187,6 +277,17 @@ class CampaignConfig:
             raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
         if "sweep" in data:
             data["sweep"] = _flatten_sweep(data["sweep"])
+        for section, section_cls in (("limits", LimitsConfig),
+                                     ("retry", RetryConfig)):
+            if section in data and not dataclasses.is_dataclass(data[section]):
+                table = dict(data[section])
+                section_known = {f.name for f in fields(section_cls)}
+                section_unknown = set(table) - section_known
+                if section_unknown:
+                    raise ValueError(
+                        f"unknown {section} keys: {sorted(section_unknown)}"
+                    )
+                data[section] = section_cls(**table)
         return cls(**data).validate()
 
     @classmethod

@@ -38,6 +38,19 @@ MANIFEST_NAME = "campaign.json"
 RUN_STATES = ("queued", "running", "failed", "done")
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
 class CampaignManifest:
     """Owns ``campaign.json``: per-run state, saved on every transition."""
 
@@ -101,8 +114,16 @@ class CampaignManifest:
         return self.campaign_dir / self.runs[run_id]["run_dir"]
 
     def mark(self, run_id: str, state: str,
-             exit_code: int | None = None) -> None:
-        """One state transition, persisted atomically before returning."""
+             exit_code: int | None = None, owner: str | None = None,
+             outcome: dict | None = None) -> None:
+        """One state transition, persisted atomically before returning.
+
+        ``owner`` stamps who is executing (the supervising scheduler's
+        identity, recorded on ``running``); ``outcome`` is the
+        supervisor's classified result, appended to the entry's
+        ``history`` so ``campaign.json`` carries the full attempt
+        record (class + reason per attempt) a post-mortem needs.
+        """
         if state not in RUN_STATES:
             raise ValueError(f"unknown run state {state!r}; not in {RUN_STATES}")
         with self._lock:
@@ -111,8 +132,58 @@ class CampaignManifest:
             entry["exit_code"] = exit_code
             if state == "running":
                 entry["attempts"] += 1
+                entry["owner"] = owner
+                entry["pid"] = os.getpid()
+            if outcome is not None:
+                entry.setdefault("history", []).append(
+                    {"attempt": entry["attempts"], "state": state,
+                     "time": time.time(), **outcome}
+                )
             entry["updated"] = time.time()
             self.save()
+
+    def record_dispatch(self, concurrency: int, executor: str) -> None:
+        """Persist one scheduler invocation's effective dispatch plan.
+
+        Every ``Campaign.run`` appends here, so the manifest records
+        which backend and how many lanes actually executed the points —
+        the provenance a reproducer needs when an aggregate looks off.
+        """
+        with self._lock:
+            self.data.setdefault("dispatch", []).append({
+                "time": time.time(),
+                "executor": executor,
+                "concurrency": int(concurrency),
+                "pid": os.getpid(),
+            })
+            self.save()
+
+    def reset_stale_running(self) -> list[str]:
+        """Re-queue ``running`` entries whose recorded process is gone.
+
+        A manifest can show ``running`` for two reasons: a live
+        scheduler owns the point right now, or a previous scheduler
+        died between transitions.  The recorded ``pid`` distinguishes
+        them — when that process no longer exists the state is a lie
+        and resume must treat the point as interrupted.  Returns the
+        run ids that were reset.
+        """
+        reset = []
+        with self._lock:
+            for run_id, entry in self.runs.items():
+                if entry["state"] != "running":
+                    continue
+                pid = entry.get("pid")
+                if pid is not None and _pid_alive(int(pid)):
+                    continue
+                entry["state"] = "queued"
+                entry["exit_code"] = None
+                entry["owner"] = None
+                entry["updated"] = time.time()
+                reset.append(run_id)
+            if reset:
+                self.save()
+        return reset
 
     def pending(self) -> list[str]:
         """Run ids still owed work (everything not ``done``), in order."""

@@ -40,15 +40,25 @@ import sys
 from pathlib import Path
 
 from ..runtime.runner import EXIT_COMPLETE, EXIT_GUARD_ABORT, EXIT_RESUMABLE
+from ..runtime.telemetry import TelemetryWriter
 from .aggregate import aggregate_rows
 from .config import CampaignConfig
 from .executors import Executor, build_executor
 from .manifest import CampaignManifest
+from .supervision import Supervisor
 
-__all__ = ["RUNS_DIR", "RUN_CONFIG_NAME", "Campaign"]
+__all__ = ["RUNS_DIR", "RUN_CONFIG_NAME", "SUPERVISOR_LOG", "Campaign"]
 
 RUNS_DIR = "runs"
 RUN_CONFIG_NAME = "config.json"
+
+#: Campaign-level supervision event stream (``lease_*`` /
+#: ``supervision_*`` records), next to ``campaign.json``.
+SUPERVISOR_LOG = "supervisor.jsonl"
+
+#: Executor degradation order: when a backend keeps failing to spawn,
+#: the scheduler falls back to the next entry that still works.
+DEGRADE_CHAIN = ("queue", "processes", "threads")
 
 
 class Campaign:
@@ -110,29 +120,125 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def run(self, executor: Executor | None = None,
-            max_steps: int | None = None) -> int:
+            max_steps: int | None = None, supervise: bool = True) -> int:
         """Dispatch every non-done point; return the campaign exit code.
 
         ``executor`` overrides the spec's choice (tests inject chaos
         through exactly this seam); ``max_steps`` caps the steps each
         run takes this invocation (defaults to the spec's, usually
-        unset).
+        unset).  ``supervise`` (the default) runs every point through
+        the :class:`~repro.campaign.supervision.Supervisor` — lease,
+        watchdog budgets, failure-classified retries with backoff, and
+        the ``supervisor.jsonl`` event stream; ``supervise=False`` is
+        the bare direct-dispatch path (the scheduling-overhead
+        benchmark's baseline).
         """
-        return asyncio.run(self._run_async(executor, max_steps))
+        return asyncio.run(self._run_async(executor, max_steps, supervise))
+
+    def _build_executor(self, name: str) -> Executor:
+        return build_executor(name, campaign_dir=self.campaign_dir,
+                              limits=self.config.limits)
 
     async def _run_async(self, executor: Executor | None,
-                         max_steps: int | None) -> int:
+                         max_steps: int | None, supervise: bool) -> int:
         owns_executor = executor is None
         if executor is None:
-            executor = build_executor(self.config.executor)
+            executor = self._build_executor(self.config.executor)
         if max_steps is None:
             max_steps = self.config.max_steps
+        stale = self.manifest.reset_stale_running()
+        if stale:
+            print(f"campaign: re-queued {len(stale)} orphaned running "
+                  f"run(s): {', '.join(stale)}", file=sys.stderr)
         pending = self.manifest.pending()
         k = self.config.effective_concurrency()
+        self.manifest.record_dispatch(k, executor.name)
         print(f"campaign: {self.config.name} — {len(pending)} of "
               f"{len(self.manifest.runs)} runs pending, {k} in flight "
               f"({executor.name} executor)", file=sys.stderr)
         semaphore = asyncio.Semaphore(k)
+        if not supervise:
+            return await self._direct(executor, owns_executor, max_steps,
+                                      pending, semaphore)
+
+        writer = TelemetryWriter(self.campaign_dir / SUPERVISOR_LOG)
+        supervisor = Supervisor(self.campaign_dir, self.config.limits,
+                                self.config.retry, sink=writer.event)
+        # mutated only on the event-loop thread; ``closers`` also keeps
+        # degraded-away executors alive until the finally reaps them
+        state = {"executor": executor, "owned": owns_executor}
+        closers: list[Executor] = [executor] if owns_executor else []
+
+        def degrade() -> bool:
+            current = state["executor"]
+            tail = (DEGRADE_CHAIN[DEGRADE_CHAIN.index(current.name) + 1:]
+                    if current.name in DEGRADE_CHAIN
+                    else DEGRADE_CHAIN[1:])
+            if not tail:
+                return False
+            replacement = self._build_executor(tail[0])
+            closers.append(replacement)
+            state["executor"] = replacement
+            supervisor.emit("supervision_degrade",
+                            from_executor=current.name,
+                            to_executor=replacement.name)
+            print(f"campaign: executor {current.name!r} unavailable — "
+                  f"degrading to {replacement.name!r}", file=sys.stderr)
+            return True
+
+        async def dispatch(run_id: str) -> int | None:
+            async with semaphore:
+                run_dir = self.manifest.run_dir(run_id)
+                config_path = run_dir / RUN_CONFIG_NAME
+                while True:
+                    attempt = self.manifest.runs[run_id]["attempts"] + 1
+                    self.manifest.mark(run_id, "running",
+                                       owner=supervisor.owner)
+                    current = state["executor"]
+                    outcome = await asyncio.to_thread(
+                        supervisor.attempt, current, run_id, run_dir,
+                        config_path, max_steps, attempt,
+                    )
+                    if (outcome.spawn_failure
+                            and supervisor.should_degrade(current)
+                            and state["executor"] is current):
+                        degrade()
+                    if outcome.cls == "done":
+                        self.manifest.mark(run_id, "done",
+                                           exit_code=outcome.exit_code,
+                                           outcome=outcome.as_dict())
+                        print(f"campaign: {run_id} done (exit "
+                              f"{outcome.exit_code})", file=sys.stderr)
+                        return outcome.exit_code
+                    retry = supervisor.policy.should_retry(outcome, attempt)
+                    self.manifest.mark(run_id, "failed",
+                                       exit_code=outcome.exit_code,
+                                       outcome=outcome.as_dict())
+                    print(f"campaign: {run_id} failed "
+                          f"(exit {outcome.exit_code}, {outcome.cls}: "
+                          f"{outcome.reason})"
+                          + (" — retrying" if retry else ""),
+                          file=sys.stderr)
+                    if not retry:
+                        return outcome.exit_code
+                    delay = supervisor.policy.delay(attempt)
+                    supervisor.emit("supervision_retry", run_id=run_id,
+                                    attempt=attempt,
+                                    delay=round(delay, 3))
+                    await asyncio.sleep(delay)
+
+        try:
+            await asyncio.gather(*(dispatch(rid) for rid in pending))
+        finally:
+            for ex in closers:
+                ex.close()
+            writer.close()
+        return self.exit_code()
+
+    async def _direct(self, executor: Executor, owns_executor: bool,
+                      max_steps: int | None, pending: list[str],
+                      semaphore: asyncio.Semaphore) -> int:
+        """The unsupervised dispatch path: one attempt per point."""
 
         async def dispatch(run_id: str) -> int:
             async with semaphore:

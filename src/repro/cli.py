@@ -8,7 +8,8 @@ without writing a script:
 * ``hybrid``   — run a mini cosmological hybrid simulation;
 * ``run``      — start a production run from a config file;
 * ``resume``   — continue an interrupted run from its run directory;
-* ``campaign`` — run/resume a parameter-sweep campaign from a spec;
+* ``campaign`` — run/resume/watch a parameter-sweep campaign from a
+  spec, or start a ``worker`` process for its job queue;
 * ``verify``   — check the integrity of a run's checkpoints;
 * ``serve``    — list/query a run's stored diagnostics products;
 * ``scaling``  — print Tables 2-4 + the time-to-solution report;
@@ -113,25 +114,66 @@ def cmd_resume(args: argparse.Namespace) -> int:
                       fault_plan=FaultPlan.from_spec(args.faults))
 
 
+def _campaign_status(campaign, watch: bool) -> int:
+    """Print the aggregate table (once, or refreshed until interrupted).
+
+    The watch loop reloads the manifest each tick, so it tracks a
+    campaign another process is executing — attempts and lease-driven
+    retries show up live.
+    """
+    import time
+
+    from repro.campaign import Campaign, format_table
+
+    if not watch:
+        print(format_table(campaign.aggregate()))
+        return 0
+    try:
+        while True:
+            campaign = Campaign.resume(campaign.campaign_dir)
+            table = format_table(campaign.aggregate())
+            print(f"\x1b[2J\x1b[H{campaign.config.name} "
+                  f"[{campaign.manifest.status}]")
+            print(table, flush=True)
+            if campaign.manifest.status in ("complete", "failed"):
+                return 0
+            time.sleep(2.0)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    """Run, resume, or inspect a parameter-sweep campaign.
+    """Run, resume, inspect, or serve a parameter-sweep campaign.
 
     ``repro campaign <spec>`` materializes and runs a sweep (re-running
     an existing directory naturally resumes it); ``repro campaign
     resume <dir>`` re-enters a campaign from its manifest alone;
     ``repro campaign status <dir>`` prints the aggregate table without
-    executing anything.
+    executing anything (``--watch`` keeps refreshing it); ``repro
+    campaign worker <dir>`` starts a queue worker that claims and
+    executes jobs from the campaign's spool (the ``queue`` executor's
+    substrate).
     """
     from repro.campaign import Campaign, CampaignConfig, format_table
 
+    if args.target == "worker":
+        if args.arg is None:
+            print("campaign worker: campaign directory required")
+            return 2
+        from repro.campaign import run_worker
+
+        executed = run_worker(args.arg, poll=args.poll, once=args.once,
+                              worker_id=args.worker_id,
+                              max_jobs=args.max_jobs)
+        print(f"campaign worker: executed {executed} job(s)")
+        return 0
     if args.target in ("resume", "status"):
         if args.arg is None:
             print(f"campaign {args.target}: campaign directory required")
             return 2
         campaign = Campaign.resume(args.arg)
         if args.target == "status":
-            print(format_table(campaign.aggregate()))
-            return 0
+            return _campaign_status(campaign, args.watch)
     else:
         config = CampaignConfig.load(args.target)
         if args.concurrency is not None:
@@ -140,7 +182,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             config.executor = args.executor
         campaign_dir = args.dir or args.arg or f"{config.name}.campaign"
         campaign = Campaign.create(config, campaign_dir)
-    code = campaign.run(max_steps=args.max_steps)
+    code = campaign.run(max_steps=args.max_steps,
+                        supervise=not args.no_supervise)
     print(format_table(campaign.aggregate()))
     return code
 
@@ -340,18 +383,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("campaign", help="parameter-sweep campaign over runs")
     p.add_argument("target",
-                   help="campaign spec (.json/.toml), or 'resume'/'status'")
+                   help="campaign spec (.json/.toml), or "
+                        "'resume'/'status'/'worker'")
     p.add_argument("arg", nargs="?", default=None,
-                   help="campaign directory (for resume/status)")
+                   help="campaign directory (for resume/status/worker)")
     p.add_argument("--dir", default=None,
                    help="campaign directory (default: <name>.campaign)")
     p.add_argument("-k", "--concurrency", type=int, default=None,
                    help="override the spec's runs-in-flight count")
     p.add_argument("--executor", default=None,
-                   choices=("processes", "threads"),
+                   choices=("processes", "threads", "queue"),
                    help="override the spec's executor backend")
     p.add_argument("--max-steps", type=int, default=None,
                    help="cap steps per run this invocation (runs exit 75)")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="bare dispatch: no leases, watchdogs, or retries")
+    p.add_argument("--watch", action="store_true",
+                   help="status: refresh the table until done/interrupted")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="worker: queue poll interval [s] (default: 0.5)")
+    p.add_argument("--once", action="store_true",
+                   help="worker: drain the visible queue once, then exit")
+    p.add_argument("--worker-id", default=None,
+                   help="worker: stable identity (default: worker-<pid>)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="worker: stop after executing this many jobs")
 
     p = sub.add_parser("verify", help="checkpoint integrity audit")
     p.add_argument("run_dir", help="run directory (or its checkpoints/)")

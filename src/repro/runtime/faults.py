@@ -30,6 +30,25 @@ Fault kinds (``FAULT_KINDS``):
 ``stall_step``
     Sleep inside the step's measured wall clock.  Exercises the stall
     guard.
+``kill_run``
+    SIGKILL the **whole run process** at a step boundary — the node
+    death the campaign supervisor's retry machinery exists for.
+``freeze_run``
+    Actually sleep (up to ``magnitude`` seconds) at a step boundary
+    without appending telemetry — a hung run.  Exercises heartbeat
+    stall detection and lease reclaim; the sleep is bounded so a drill
+    whose supervision is broken still terminates.
+``oom_run``
+    Allocate and hold ``magnitude`` MB of ballast, pushing the run's
+    RSS over a campaign ``[limits]`` budget.  Exercises the resource
+    watchdog's drain→kill ladder.
+
+The three run-level kinds fire through :meth:`FaultPlan.run_level`,
+which persists a fired ledger (``faults_fired.jsonl``) in the run
+directory *before* acting: a retried attempt that resumes from a
+checkpoint behind the fault's step re-reads the same config but does
+not re-fire the fault — without the ledger a ``kill_run`` would kill
+every retry forever.
 
 Plans load from a config section, an environment variable
 (``REPRO_FAULTS`` — inline JSON or a path to a JSON file), or the CLI
@@ -63,7 +82,17 @@ FAULT_KINDS = (
     "inject_nan",
     "inject_negative",
     "stall_step",
+    "kill_run",
+    "freeze_run",
+    "oom_run",
 )
+
+#: Kinds that take down (or bloat) the whole run process; their firing
+#: is persisted to the run directory so retries do not re-fire them.
+RUN_LEVEL_KINDS = ("oom_run", "freeze_run", "kill_run")
+
+#: The persistent one-shot ledger for run-level faults.
+FIRED_LEDGER = "faults_fired.jsonl"
 
 #: Environment variable the CLI/runner consult for an ambient plan.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -144,6 +173,9 @@ class FaultPlan:
         self.step = 0
         #: Every fired event, in firing order: ``(step_fired, event_dict)``.
         self.log: list[dict] = []
+        #: Held ballast buffers (``oom_run``) — alive for the process's
+        #: lifetime so the inflated RSS stays visible to the watchdog.
+        self._ballast: list[bytearray] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -245,6 +277,54 @@ class FaultPlan:
             data[pos] ^= 0xFF
         path.write_bytes(bytes(data))
         return self.log[-1]
+
+    def run_level(self, run_dir: str | Path) -> None:
+        """Fire due run-level faults (oom / freeze / kill this process).
+
+        Called by the runner at each step boundary, after the
+        checkpoint logic.  Each firing is appended to the run
+        directory's :data:`FIRED_LEDGER` **before** the fault acts, and
+        ledger entries suppress re-firing: a retried attempt (a fresh
+        process re-reading the same ``[faults]`` config) resumes past
+        the fault instead of dying to it again — which is exactly what
+        makes a supervised chaos drill terminate.
+        """
+        run_dir = Path(run_dir)
+        ledger = run_dir / FIRED_LEDGER
+        already: set[str] = set()
+        if ledger.exists():
+            for line in ledger.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:  # torn tail: fault still fired
+                    continue
+                already.add(f"{entry.get('kind')}@{entry.get('step')}")
+        for kind in RUN_LEVEL_KINDS:
+            for event in self.events:
+                if (event.kind != kind or event.fired
+                        or self.step < event.step):
+                    continue
+                key = f"{kind}@{event.step}"
+                if key in already:
+                    event.fired_at = self.step  # fired by a prior attempt
+                    continue
+                event.fired_at = self.step
+                entry = {"fired_at": self.step, **event.as_dict()}
+                self.log.append(entry)
+                with open(ledger, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(entry) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                emit_event("fault_injected", **entry)
+                if kind == "oom_run":
+                    self._ballast.append(bytearray(int(event.magnitude) << 20))
+                elif kind == "freeze_run":
+                    time.sleep(float(event.magnitude))
+                elif kind == "kill_run":  # pragma: no cover - dies here
+                    os.kill(os.getpid(), signal.SIGKILL)
 
     def worker_fault(self, engine, pool) -> None:
         """Pencil-engine fault hook: sabotage the process pool mid-sweep.

@@ -82,6 +82,7 @@ from .scenarios import Stepper, build_engine, build_stepper
 from .telemetry import TelemetryWriter, peak_rss_mb, set_event_sink
 
 __all__ = [
+    "DRAIN_NAME",
     "EXIT_COMPLETE",
     "EXIT_RESUMABLE",
     "EXIT_GUARD_ABORT",
@@ -98,6 +99,12 @@ MANIFEST_NAME = "run.json"
 TELEMETRY_NAME = "telemetry.jsonl"
 CHECKPOINT_DIR = "checkpoints"
 DIAGNOSTICS_DIR = "diagnostics"
+#: Drain-request flag: a supervisor (campaign watchdog, an operator on
+#: another host sharing the filesystem) touches this file in the run
+#: directory and the runner drains resumable at the next step boundary
+#: — the filesystem analog of SIGTERM, and the only drain channel that
+#: reaches in-process (thread-executor) and remote (queue-worker) runs.
+DRAIN_NAME = "DRAIN"
 
 
 def checkpoint_name(step: int) -> str:
@@ -349,13 +356,26 @@ class SimulationRunner:
                     last_ck_step = stepper.index
                     last_ck_time = time.monotonic()
 
-                if interrupts:
+                if fault_plan is not None:
+                    # run-level chaos (kill/freeze/oom this whole run)
+                    # fires after the checkpoint logic so the pre-fault
+                    # state is on disk for the retry to resume from; the
+                    # kill variant does not return.
+                    fault_plan.run_level(self.run_dir)
+
+                if interrupts or (self.run_dir / DRAIN_NAME).exists():
                     self._checkpoint(stepper, ck_dir)
                     status, exit_code = "interrupted", EXIT_RESUMABLE
-                    reason = f"signal:{interrupts[0]}"
-                    print(f"runner: drained on {interrupts[0]} at step "
-                          f"{stepper.index}/{stepper.n_steps} — resumable",
-                          file=sys.stderr)
+                    if interrupts:
+                        reason = f"signal:{interrupts[0]}"
+                    else:
+                        reason = "drain_requested"
+                        # consume the flag: the retry that resumes this
+                        # run must not immediately re-drain
+                        (self.run_dir / DRAIN_NAME).unlink(missing_ok=True)
+                    print(f"runner: drained on {reason.split(':')[-1]} at "
+                          f"step {stepper.index}/{stepper.n_steps} — "
+                          "resumable", file=sys.stderr)
                     break
                 if (config.wall_clock_budget is not None
                         and time.monotonic() - start >= config.wall_clock_budget):
