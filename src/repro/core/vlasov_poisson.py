@@ -38,6 +38,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..perf.pencil import PencilEngine
 
 
+def _build_solver(grid, scheme, engine, timer, layout):
+    """The driver's Vlasov solver plus the Poisson spectral backend.
+
+    A :class:`repro.parallel.domain.DomainEngine` (recognized by its
+    ``is_domain_engine`` marker — a local import keeps the drivers free
+    of the parallel package) takes over solver *ownership*: f lives in
+    its workers, the returned adapter is the solver facade, and the
+    Poisson solver runs its mesh transforms through the engine's
+    distributed spectral backend.  Anything else (a PencilEngine or
+    None) keeps the classic arrangement: solver owns f, engine (if any)
+    only shards sweeps, Poisson uses the default backend.
+    """
+    if getattr(engine, "is_domain_engine", False):
+        from ..parallel.domain import DomainSolverAdapter
+
+        adapter = DomainSolverAdapter(
+            engine, grid, scheme=scheme, timer=timer, layout=layout,
+        )
+        return adapter, engine.spectral_backend()
+    solver = VlasovSolver(
+        grid, scheme=scheme, engine=engine, timer=timer, layout=layout,
+    )
+    return solver, None
+
+
 @dataclass
 class PlasmaVlasovPoisson:
     """Normalized electron Vlasov-Poisson system on a periodic box.
@@ -66,11 +91,12 @@ class PlasmaVlasovPoisson:
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        self.solver = VlasovSolver(
-            self.grid, scheme=self.scheme, engine=self.engine,
-            timer=self.timer, layout=self.layout,
+        self.solver, backend = _build_solver(
+            self.grid, self.scheme, self.engine, self.timer, self.layout,
         )
-        self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
+        self.poisson = PeriodicPoissonSolver(
+            self.grid.nx, self.grid.box_size, backend=backend
+        )
 
     def _timed_accel(self) -> np.ndarray:
         ctx = self.timer.section("poisson") if self.timer is not None else nullcontext()
@@ -192,11 +218,12 @@ class GravitationalVlasovPoisson:
     time: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        self.solver = VlasovSolver(
-            self.grid, scheme=self.scheme, engine=self.engine,
-            timer=self.timer, layout=self.layout,
+        self.solver, backend = _build_solver(
+            self.grid, self.scheme, self.engine, self.timer, self.layout,
         )
-        self.poisson = PeriodicPoissonSolver(self.grid.nx, self.grid.box_size)
+        self.poisson = PeriodicPoissonSolver(
+            self.grid.nx, self.grid.box_size, backend=backend
+        )
 
     def _timed_accel(self, a: float | None = None) -> np.ndarray:
         ctx = self.timer.section("poisson") if self.timer is not None else nullcontext()

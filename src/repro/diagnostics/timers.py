@@ -82,6 +82,16 @@ class StepTimer:
             self.sections.setdefault(name, SectionStats()).add(elapsed)
             self._stack.pop()
 
+    def add(self, name: str, seconds: float) -> None:
+        """Record one externally measured lap under ``name`` (verbatim).
+
+        Unlike :meth:`section`, the name is *not* qualified against the
+        active section stack: callers that merge laps measured elsewhere
+        (worker processes reporting ``domain/halo`` time, say) want a
+        stable key regardless of which section the merge happens under.
+        """
+        self.sections.setdefault(name, SectionStats()).add(float(seconds))
+
     def median(self, name: str) -> float:
         """Median lap of a section."""
         if name not in self.sections:

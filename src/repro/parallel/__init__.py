@@ -1,10 +1,19 @@
-"""Virtual parallel runtime: decomposition, vMPI, ghost exchange, pencil FFT."""
+"""Parallel runtime: decomposition, vMPI, ghost exchange, pencil FFT —
+and the real-transport :class:`~repro.parallel.domain.DomainEngine`
+(persistent shared-memory domain workers, overlapped halo exchange,
+distributed mesh FFT — see ``docs/PARALLEL.md``)."""
 
-from .decomposition import GHOST_WIDTH, DomainDecomposition, pencil_slices
+from .decomposition import (
+    GHOST_WIDTH,
+    BlockDecomposition,
+    DomainDecomposition,
+    pencil_slices,
+)
 from .exchange import (
     decomposed_spatial_advect,
     decomposed_velocity_advect,
     exchange_ghosts,
+    exchange_ghosts_full,
     required_ghost,
 )
 from .fft_decomp import PencilGrid, pencil_fft3d
@@ -18,11 +27,16 @@ from .vmpi import CollectiveRecord, CommLog, MessageRecord, VirtualComm
 
 __all__ = [
     "GHOST_WIDTH",
+    "BlockDecomposition",
     "DomainDecomposition",
+    "DomainEngine",
+    "DomainSolverAdapter",
+    "DomainWorkerError",
     "pencil_slices",
     "decomposed_spatial_advect",
     "decomposed_velocity_advect",
     "exchange_ghosts",
+    "exchange_ghosts_full",
     "required_ghost",
     "PencilGrid",
     "decompose_particles",
@@ -37,3 +51,16 @@ __all__ = [
     "multiprocess_spatial_advect",
 ]
 from .localcluster import multiprocess_spatial_advect
+
+#: Lazily exported: :mod:`.domain` imports :mod:`repro.perf.pencil`,
+#: which itself imports :mod:`.decomposition` from this package — an
+#: eager import here would re-enter perf.pencil mid-initialization.
+_LAZY = ("DomainEngine", "DomainSolverAdapter", "DomainWorkerError")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import domain
+
+        return getattr(domain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

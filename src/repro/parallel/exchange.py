@@ -83,6 +83,37 @@ def exchange_ghosts(
     return out
 
 
+def exchange_ghosts_full(
+    blocks: list[np.ndarray],
+    decomp: DomainDecomposition,
+    ghost: int,
+    comm: VirtualComm,
+) -> list[np.ndarray]:
+    """Pad every block with neighbor data along **all** spatial axes,
+    corner and edge (diagonal-neighbor) ghosts included.
+
+    :func:`exchange_ghosts` fills the face halos of a single axis and
+    leaves the ``ghost x ghost`` corner regions of a multi-axis halo
+    unfilled — fine for the dimensionally split sweeps (each sweep only
+    reaches along its own axis), silently wrong for any 3-D stencil that
+    reads diagonally (an unsplit stencil, a multi-axis limiter).  This
+    performs the standard two-hop corner fill: exchange axis 0, then
+    exchange the *padded* blocks along axis 1 (the slabs now carry the
+    axis-0 ghosts, so corners arrive via the face neighbor), and so on —
+    exactly how production halo exchanges avoid diagonal messages.  The
+    logged messages therefore grow by the ghost layers of the already
+    exchanged axes, which is the honest communication cost of a full
+    halo.
+
+    Returns new arrays extended by ``ghost`` layers on each side of every
+    spatial axis (periodic global topology).
+    """
+    out = blocks
+    for axis in range(decomp.dim):
+        out = exchange_ghosts(out, decomp, axis, ghost, comm)
+    return out
+
+
 def decomposed_spatial_advect(
     blocks: list[np.ndarray],
     decomp: DomainDecomposition,

@@ -1,0 +1,431 @@
+"""Persistent domain-decomposition worker processes (paper §5 layout).
+
+One worker per spatial block, alive for the whole run: the block's slab
+of the distribution function lives in two ``multiprocessing.shared_memory``
+segments (the double buffer of :class:`repro.core.vlasov.VlasovSolver`,
+made cross-process), and every command from the parent addresses those
+segments by *role* index — the worker itself is stateless about which
+buffer currently holds f, so a killed-and-respawned worker resumes from
+the untouched current-role segment without any re-scatter.
+
+The sweep command implements the paper's communication hiding (§5.1.3):
+a helper thread assembles the two boundary ghost slabs by reading the
+neighbor blocks' shared segments **while the main thread advects the
+full local block**; the boundary pencils are then recomputed from the
+ghost slabs and overwrite the (locally wrapped, hence wrong) first and
+last ``ghost`` layers of the output.  Both the overlapped-stitch and the
+padded fallback produce results bitwise-identical to the serial sweep as
+long as every shift stays below one cell — the engine enforces that CFL
+cap and gathers to the host for the rare sweep that exceeds it.
+
+The FFT commands are the per-pass bodies of the 2-D pencil-decomposed
+transform (promoted from :mod:`repro.parallel.fft_decomp`'s virtual-comm
+replay to real cross-worker transposes through shared staging buffers);
+the pass order matches :meth:`repro.perf.fft.SpectralBackend.irfftn`'s
+separable plan exactly, which is what makes the distributed field solve
+bitwise-identical to the serial one.
+
+Everything here must stay importable under the ``spawn`` start method:
+module-level functions only, specs picklable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.advection import advect
+from ..core.mesh import PhaseSpaceGrid
+from ..perf.arena import ScratchArena
+from ..perf.pencil import _attach_shm
+from .decomposition import pencil_slices
+
+try:  # pragma: no cover - exercised on hosts with scipy
+    import scipy.fft as _fft_lib
+
+    _FFT_LIBRARY = "scipy.fft"
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _fft_lib = None
+    _FFT_LIBRARY = "numpy.fft"
+
+__all__ = ["WorkerSpec", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker needs to attach and serve (picklable).
+
+    ``seg_names`` / ``block_shapes`` cover *all* ranks: halo exchange
+    reads the neighbors' current-role segments directly, so every worker
+    can attach every block segment (attachment is an mmap, not a copy).
+    """
+
+    rank: int
+    size: int
+    grid: PhaseSpaceGrid
+    scheme: str
+    ghost: int
+    #: per-rank (role-0 name, role-1 name) block segments
+    seg_names: tuple[tuple[str, str], ...]
+    #: per-rank spatial block shape (trailing velocity axes are grid.nu)
+    block_shapes: tuple[tuple[int, ...], ...]
+    #: this rank's (start, stop) per spatial axis in the global mesh
+    own_bounds: tuple[tuple[int, int], ...]
+    #: this rank's (left, right) neighbor rank per spatial axis
+    neighbors: tuple[tuple[int, int], ...]
+    rho_name: str
+    accel_name: str
+    #: 2-D pencil FFT role: {"names": (real, spec0, spec1), "p1", "p2"}
+    fft: dict | None
+
+
+class _WorkerState:
+    """Attached segments, cached views and scratch of one worker."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.grid = spec.grid
+        self.arena = ScratchArena()
+        self._shm: dict[str, object] = {}
+        self._views: dict = {}
+        self._scratch: dict = {}
+
+    def _segment(self, name: str):
+        shm = self._shm.get(name)
+        if shm is None:
+            shm = self._shm[name] = _attach_shm(name)
+        return shm
+
+    def block(self, rank: int, role: int) -> np.ndarray:
+        key = ("block", rank, role)
+        view = self._views.get(key)
+        if view is None:
+            shape = self.spec.block_shapes[rank] + self.grid.nu
+            shm = self._segment(self.spec.seg_names[rank][role])
+            view = np.ndarray(shape, dtype=self.grid.dtype, buffer=shm.buf)
+            self._views[key] = view
+        return view
+
+    def mesh(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = ("mesh", name)
+        view = self._views.get(key)
+        if view is None:
+            shm = self._segment(name)
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+            self._views[key] = view
+        return view
+
+    def scratch(self, key, shape, dtype) -> np.ndarray:
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = self._scratch[key] = np.empty(shape, dtype=dtype)
+        return buf
+
+    def close(self) -> None:
+        self._views.clear()
+        for shm in self._shm.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view teardown order
+                pass
+        self._shm.clear()
+
+
+def _ax(ndim: int, axis: int, sl: slice) -> tuple:
+    """Index tuple slicing ``sl`` along ``axis`` only."""
+    return tuple(sl if d == axis else slice(None) for d in range(ndim))
+
+
+# -- sweep ------------------------------------------------------------------
+
+
+def _shift_for(state: _WorkerState, job: dict) -> np.ndarray:
+    """The advection shift, computed exactly as the serial solver does.
+
+    Drift: ``u_center_broadcast(d) * (dt/dx_d)`` — identical on every
+    rank (velocity space is never decomposed).  Kick: the block's slab of
+    the float64 acceleration mesh times ``dt/du_d``; an elementwise
+    product of a slab equals the slab of the product, so the bits match
+    the serial full-mesh shift row for row.
+    """
+    grid, d, factor = state.grid, job["d"], job["factor"]
+    if job["kind"] == "x":
+        return grid.u_center_broadcast(d) * factor
+    accel = state.mesh(
+        state.spec.accel_name, (grid.dim,) + grid.nx, np.float64
+    )
+    own = tuple(slice(lo, hi) for lo, hi in state.spec.own_bounds)
+    a_d = np.ascontiguousarray(accel[d][own])
+    a_d = a_d.reshape(a_d.shape + (1,) * grid.dim)
+    return a_d * factor
+
+
+def _sweep(state: _WorkerState, job: dict) -> tuple:
+    """One directional advection of the local block.
+
+    Returns ``(halo_seconds, interior_seconds, boundary_seconds)``;
+    halo time is the ghost-slab assembly measured on its thread, which
+    runs concurrently with the interior advection.
+    """
+    spec, grid = state.spec, state.grid
+    cur = state.block(spec.rank, job["src"])
+    dst = state.block(spec.rank, job["dst"])
+    axis, mode, g = job["axis"], job["mode"], spec.ghost
+    shift = _shift_for(state, job)
+    ndim = cur.ndim
+
+    if mode in ("v", "local"):
+        t0 = time.perf_counter()
+        advect(cur, shift, axis, scheme=spec.scheme, bc=job["bc"],
+               out=dst, arena=state.arena)
+        return (0.0, time.perf_counter() - t0, 0.0)
+
+    d = job["d"]
+    n = cur.shape[axis]
+    left, right = spec.neighbors[d]
+    nbr_l = state.block(left, job["src"])
+    nbr_r = state.block(right, job["src"])
+    n_l = nbr_l.shape[axis]
+
+    if mode == "padded":
+        # block too thin to split into interior + boundary: assemble the
+        # fully padded slab first (no overlap), advect, copy the center.
+        t0 = time.perf_counter()
+        pshape = list(cur.shape)
+        pshape[axis] = n + 2 * g
+        padded = state.scratch(("pad", axis), tuple(pshape), cur.dtype)
+        padded[_ax(ndim, axis, slice(0, g))] = \
+            nbr_l[_ax(ndim, axis, slice(n_l - g, n_l))]
+        padded[_ax(ndim, axis, slice(g, g + n))] = cur
+        padded[_ax(ndim, axis, slice(g + n, g + n + g))] = \
+            nbr_r[_ax(ndim, axis, slice(0, g))]
+        t1 = time.perf_counter()
+        out = state.scratch(("pad_out", axis), tuple(pshape), cur.dtype)
+        advect(padded, shift, axis, scheme=spec.scheme, bc="periodic",
+               out=out, arena=state.arena)
+        dst[...] = out[_ax(ndim, axis, slice(g, g + n))]
+        return (t1 - t0, time.perf_counter() - t1, 0.0)
+
+    # overlapped stitch: ghost slabs fill on a thread while the main
+    # thread advects the whole local block (its first/last g layers wrap
+    # locally and are wrong — the boundary pencils recompute them).
+    sshape = list(cur.shape)
+    sshape[axis] = 3 * g
+    slab_l = state.scratch(("slab_l", axis), tuple(sshape), cur.dtype)
+    slab_r = state.scratch(("slab_r", axis), tuple(sshape), cur.dtype)
+    halo = {"seconds": 0.0}
+
+    def fill_halo() -> None:
+        t0 = time.perf_counter()
+        slab_l[_ax(ndim, axis, slice(0, g))] = \
+            nbr_l[_ax(ndim, axis, slice(n_l - g, n_l))]
+        slab_l[_ax(ndim, axis, slice(g, 3 * g))] = \
+            cur[_ax(ndim, axis, slice(0, 2 * g))]
+        slab_r[_ax(ndim, axis, slice(0, 2 * g))] = \
+            cur[_ax(ndim, axis, slice(n - 2 * g, n))]
+        slab_r[_ax(ndim, axis, slice(2 * g, 3 * g))] = \
+            nbr_r[_ax(ndim, axis, slice(0, g))]
+        halo["seconds"] = time.perf_counter() - t0
+
+    thread = threading.Thread(target=fill_halo, name="halo")
+    thread.start()
+    t0 = time.perf_counter()
+    advect(cur, shift, axis, scheme=spec.scheme, bc="periodic",
+           out=dst, arena=state.arena)
+    interior = time.perf_counter() - t0
+    thread.join()
+
+    t0 = time.perf_counter()
+    out_l = state.scratch(("slab_lo", axis), tuple(sshape), cur.dtype)
+    out_r = state.scratch(("slab_ro", axis), tuple(sshape), cur.dtype)
+    advect(slab_l, shift, axis, scheme=spec.scheme, bc="periodic",
+           out=out_l, arena=state.arena)
+    advect(slab_r, shift, axis, scheme=spec.scheme, bc="periodic",
+           out=out_r, arena=state.arena)
+    keep = _ax(ndim, axis, slice(g, 2 * g))
+    dst[_ax(ndim, axis, slice(0, g))] = out_l[keep]
+    dst[_ax(ndim, axis, slice(n - g, n))] = out_r[keep]
+    return (halo["seconds"], interior, time.perf_counter() - t0)
+
+
+# -- moments / guards -------------------------------------------------------
+
+
+def _density(state: _WorkerState, role: int) -> None:
+    """Write this block's density slab into the shared rho mesh.
+
+    Velocity space is whole on every rank (§5.1.3), so the per-cell
+    reduction is the serial one exactly — bitwise — on the block's cells.
+    """
+    grid = state.spec.grid
+    blk = state.block(state.spec.rank, role)
+    rho = state.mesh(state.spec.rho_name, grid.nx, np.float64)
+    own = tuple(slice(lo, hi) for lo, hi in state.spec.own_bounds)
+    vel_axes = tuple(range(grid.dim, 2 * grid.dim))
+    rho[own] = blk.sum(axis=vel_axes, dtype=np.float64) * grid.cell_volume_u
+
+
+def _reduce(state: _WorkerState, role: int) -> dict:
+    """Partial sums for the conserved-quantity ledger (mass, kinetic)."""
+    grid = state.spec.grid
+    blk = state.block(state.spec.rank, role)
+    ke = []
+    for d in range(grid.dim):
+        u = grid.u_center_broadcast(d).astype(np.float64)
+        ke.append(float((blk * u**2).sum(dtype=np.float64)))
+    return {"mass": float(blk.sum(dtype=np.float64)), "ke": ke}
+
+
+def _stats(state: _WorkerState, role: int) -> tuple:
+    """(non-finite count, min) of the block — exact under aggregation."""
+    blk = state.block(state.spec.rank, role)
+    n_bad = int(blk.size - np.count_nonzero(np.isfinite(blk)))
+    return (n_bad, float(blk.min()))
+
+
+# -- 2-D pencil FFT passes --------------------------------------------------
+#
+# Worker (i, j) on the p1 x p2 pencil grid owns x-pencil i and y-pencil j.
+# Each pass is a batch of independent 1-D transforms on its slab of the
+# shared staging buffers; the parent barriers between passes (it collects
+# every reply before issuing the next), which is the transpose.
+
+
+def _fft_roles(state: _WorkerState) -> tuple:
+    fft = state.spec.fft
+    p1, p2 = fft["p1"], fft["p2"]
+    return p1, p2, state.spec.rank // p2, state.spec.rank % p2
+
+
+def _fft_views(state: _WorkerState) -> tuple:
+    fft = state.spec.fft
+    n0, n1, n2 = state.spec.grid.nx
+    nzr = n2 // 2 + 1
+    real = state.mesh(fft["names"][0], (n0, n1, n2), np.float64)
+    spec0 = state.mesh(fft["names"][1], (n0, n1, nzr), np.complex128)
+    spec1 = state.mesh(fft["names"][2], (n0, n1, nzr), np.complex128)
+    return real, spec0, spec1
+
+
+def _rfft(x, axis):
+    if _fft_lib is not None:
+        return _fft_lib.rfft(x, axis=axis)
+    return np.fft.rfft(x, axis=axis)
+
+
+def _cfft(x, axis, inverse: bool):
+    if _fft_lib is not None:
+        return _fft_lib.ifft(x, axis=axis) if inverse \
+            else _fft_lib.fft(x, axis=axis)
+    return np.fft.ifft(x, axis=axis) if inverse else np.fft.fft(x, axis=axis)
+
+
+def _irfft(x, n, axis):
+    if _fft_lib is not None:
+        return _fft_lib.irfft(x, n=n, axis=axis)
+    return np.fft.irfft(x, n=n, axis=axis)
+
+
+def _fft_pass(state: _WorkerState, which: str) -> None:
+    """One pass of the staged 3-D transform (see module docstring).
+
+    Forward: rfft(z) -> fft(x) -> fft(y); inverse: ifft(x) -> ifft(y) ->
+    irfft(z) — the exact separable order of ``SpectralBackend.irfftn``.
+    """
+    p1, p2, i, j = _fft_roles(state)
+    real, spec0, spec1 = _fft_views(state)
+    n0, n1, n2 = state.spec.grid.nx
+    nzr = n2 // 2 + 1
+    x_p1 = pencil_slices(n0, p1)
+    x_p2 = pencil_slices(n0, p2)
+    y_p2 = pencil_slices(n1, p2)
+    zk_p1 = pencil_slices(nzr, p1)
+
+    if which == "fwd0":
+        if i < len(x_p1) and j < len(y_p2):
+            sl = (x_p1[i], y_p2[j], slice(None))
+            spec0[sl] = _rfft(real[sl], axis=2)
+    elif which == "fwd1":
+        if i < len(zk_p1) and j < len(y_p2):
+            sl = (slice(None), y_p2[j], zk_p1[i])
+            spec1[sl] = _cfft(spec0[sl], axis=0, inverse=False)
+    elif which == "fwd2":
+        if i < len(zk_p1) and j < len(x_p2):
+            sl = (x_p2[j], slice(None), zk_p1[i])
+            spec0[sl] = _cfft(spec1[sl], axis=1, inverse=False)
+    elif which == "inv0":
+        if i < len(zk_p1) and j < len(y_p2):
+            sl = (slice(None), y_p2[j], zk_p1[i])
+            spec1[sl] = _cfft(spec0[sl], axis=0, inverse=True)
+    elif which == "inv1":
+        if i < len(zk_p1) and j < len(x_p2):
+            sl = (x_p2[j], slice(None), zk_p1[i])
+            spec0[sl] = _cfft(spec1[sl], axis=1, inverse=True)
+    elif which == "inv2":
+        if i < len(x_p1) and j < len(y_p2):
+            sl = (x_p1[i], y_p2[j], slice(None))
+            real[sl] = _irfft(spec0[sl], n=n2, axis=2)
+    else:  # pragma: no cover - protocol error
+        raise ValueError(f"unknown fft pass {which!r}")
+
+
+# -- main loop --------------------------------------------------------------
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Serve commands over ``conn`` until 'close' or EOF.
+
+    Protocol: every command gets exactly one ``("ok", value)`` or
+    ``("err", traceback)`` reply, except ``"call"`` (fire-and-forget —
+    the chaos harness injects ``_kill_self`` through it, which never
+    returns) and ``"close"``.
+    """
+    state = _WorkerState(spec)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            cmd = msg[0]
+            if cmd == "close":
+                break
+            if cmd == "call":
+                fn, args = msg[1], msg[2]
+                try:
+                    fn(*args)
+                except Exception:  # pragma: no cover - injected faults
+                    pass
+                continue
+            try:
+                if cmd == "sweep":
+                    value = _sweep(state, msg[1])
+                elif cmd == "density":
+                    value = _density(state, msg[1])
+                elif cmd == "reduce":
+                    value = _reduce(state, msg[1])
+                elif cmd == "stats":
+                    value = _stats(state, msg[1])
+                elif cmd == "fft":
+                    value = _fft_pass(state, msg[1])
+                elif cmd == "ping":
+                    value = {"rank": spec.rank, "fft_library": _FFT_LIBRARY}
+                else:
+                    raise ValueError(f"unknown command {cmd!r}")
+                reply = ("ok", value)
+            except Exception:
+                reply = ("err", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+    finally:
+        state.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - teardown
+            pass

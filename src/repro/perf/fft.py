@@ -139,19 +139,35 @@ class SpectralBackend:
         return np.fft.rfftn(x, axes=axes)
 
     def irfftn(self, x_k: np.ndarray, s, axes=None) -> np.ndarray:
-        """Inverse complex-to-real N-D transform (counted)."""
+        """Inverse complex-to-real N-D transform (counted).
+
+        Evaluated as the *separable* composition — one complex ``ifft``
+        per leading axis, then one ``irfft`` along the last axis — rather
+        than the fused ``irfftn`` kernel.  The two differ by ~1 ulp, and
+        the separable order is the one the distributed pencil path of
+        :class:`repro.parallel.domain.DomainEngine` reproduces pass by
+        pass, so using it here keeps serial and distributed field solves
+        bitwise identical by construction (the bitwise-vs-serial engine
+        gates depend on this).
+        """
         self.n_inverse += 1
         self._plans.add(("irfftn", tuple(s)))
-        if axes is None:
-            axes = range(len(s))
+        s = tuple(s)
+        axes = tuple(range(len(s))) if axes is None else tuple(axes)
         if _scipy_fft is not None:
             try:
-                return _scipy_fft.irfftn(
-                    x_k, s=s, axes=axes, workers=self.workers
+                out = x_k
+                for n, ax in zip(s[:-1], axes[:-1]):
+                    out = _scipy_fft.ifft(out, n=n, axis=ax, workers=self.workers)
+                return _scipy_fft.irfft(
+                    out, n=s[-1], axis=axes[-1], workers=self.workers
                 )
             except Exception as exc:
                 self._fallback("irfftn", exc)
-        return np.fft.irfftn(x_k, s=s, axes=axes)
+        out = x_k
+        for n, ax in zip(s[:-1], axes[:-1]):
+            out = np.fft.ifft(out, n=n, axis=ax)
+        return np.fft.irfft(out, n=s[-1], axis=axes[-1])
 
     def kspace_product(self, key, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """``a * b`` into a pooled complex workspace (broadcasting ok).

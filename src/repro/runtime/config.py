@@ -33,6 +33,12 @@ POLICIES = ("off", "warn", "abort", "rollback")
 #: plain serial kernels inside the drivers).
 ENGINE_BACKENDS = ("off", "serial", "threads", "processes")
 
+#: Engine kinds: "pencil" shards sweeps through scatter/gather
+#: (:class:`repro.perf.pencil.PencilEngine`, tuned by ``backend``);
+#: "domain" pins 3-D spatial blocks to persistent shared-memory workers
+#: (:class:`repro.parallel.domain.DomainEngine`, tuned by ``topology``).
+ENGINES = ("pencil", "domain")
+
 
 @dataclass
 class GridConfig:
@@ -119,10 +125,23 @@ class EngineConfig:
     ``"in_place"``, see :class:`repro.perf.layout.LayoutEngine`) and
     applies whether or not a pencil backend is on — it is forwarded to
     the drivers' Vlasov solvers, which own the deciding engine.
+
+    ``engine="domain"`` selects the persistent-worker domain engine
+    instead (:class:`repro.parallel.domain.DomainEngine`): f lives
+    sharded across worker processes in shared memory for the whole run,
+    halo exchange overlaps the interior sweeps, and the field solve's
+    mesh FFTs are pencil-distributed.  ``topology`` is its workers-per-
+    spatial-axis grid (e.g. ``[2, 2, 1]``; null auto-factors
+    ``n_workers`` over the longest axes); ``backend``/``min_shard_bytes``
+    are pencil-only and ignored.  Its degradation ladder on worker death
+    is domain → pencil(threads) → serial, reusing the same
+    ``max_retries``/``backoff_base``/``task_timeout`` budget.
     """
 
+    engine: str = "pencil"
     backend: str = "off"
     n_workers: int | None = None
+    topology: list | None = None
     max_retries: int = 2
     backoff_base: float = 0.05
     task_timeout: float | None = None
@@ -250,12 +269,22 @@ class RunConfig:
                     f"guards.{guard} policy {policy!r} not in {POLICIES}"
                 )
         e = self.engine
+        if e.engine not in ENGINES:
+            raise ValueError(f"engine.engine {e.engine!r} not in {ENGINES}")
         if e.backend not in ENGINE_BACKENDS:
             raise ValueError(
                 f"engine.backend {e.backend!r} not in {ENGINE_BACKENDS}"
             )
         if e.n_workers is not None and e.n_workers < 1:
             raise ValueError("engine.n_workers must be >= 1 or null")
+        if e.topology is not None:
+            if len(e.topology) != len(g.nx):
+                raise ValueError(
+                    f"engine.topology has {len(e.topology)} axes for a "
+                    f"{len(g.nx)}-D grid"
+                )
+            if any(int(p) < 1 for p in e.topology):
+                raise ValueError("engine.topology entries must be >= 1")
         if e.max_retries < 0:
             raise ValueError("engine.max_retries must be >= 0")
         if e.task_timeout is not None and e.task_timeout <= 0.0:

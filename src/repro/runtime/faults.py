@@ -240,6 +240,20 @@ class FaultPlan:
 
     # -- injection points, one per failure domain ----------------------
 
+    def wants_state(self) -> bool:
+        """Whether any unfired event still needs access to f.
+
+        The runner consults this before materializing the distribution
+        function for :meth:`mutate_state` — under the domain engine,
+        reading ``stepper.f`` gathers the worker-resident state, a
+        full-domain copy that must not happen every step just to offer
+        an injection point no event will ever take.
+        """
+        return any(
+            e.kind in ("inject_nan", "inject_negative") and not e.fired
+            for e in self.events
+        )
+
     def mutate_state(self, f: np.ndarray) -> list[dict]:
         """Poison cells of f (NaN / negative), in place; returns firings."""
         fired = []

@@ -70,22 +70,27 @@ class GuardSuite:
         reports: list[GuardReport] = []
 
         if cfg.nan != "off" or cfg.negative_f != "off":
-            f = stepper.f
-            if cfg.nan != "off":
+            # steppers may answer from distributed partials (the domain
+            # engine never gathers f for this); summed counts and min of
+            # minima are exact, so both paths fire identically
+            stats = getattr(stepper, "f_stats", None)
+            if stats is not None:
+                n_bad, fmin = stats()
+            else:
+                f = stepper.f
                 n_bad = int(np.size(f) - np.count_nonzero(np.isfinite(f)))
-                if n_bad:
-                    reports.append(GuardReport(
-                        "nan", cfg.nan,
-                        f"{n_bad} non-finite values in f at step {stepper.index}",
-                    ))
-            if cfg.negative_f != "off":
                 fmin = float(f.min())
-                if fmin < -cfg.negative_f_tol:
-                    reports.append(GuardReport(
-                        "negative_f", cfg.negative_f,
-                        f"min(f) = {fmin:.3e} below -{cfg.negative_f_tol:.1e} "
-                        f"at step {stepper.index}",
-                    ))
+            if cfg.nan != "off" and n_bad:
+                reports.append(GuardReport(
+                    "nan", cfg.nan,
+                    f"{n_bad} non-finite values in f at step {stepper.index}",
+                ))
+            if cfg.negative_f != "off" and fmin < -cfg.negative_f_tol:
+                reports.append(GuardReport(
+                    "negative_f", cfg.negative_f,
+                    f"min(f) = {fmin:.3e} below -{cfg.negative_f_tol:.1e} "
+                    f"at step {stepper.index}",
+                ))
 
         if cfg.conservation != "off":
             for key in self.ledger.initial:

@@ -279,7 +279,14 @@ class SimulationRunner:
                 wall = time.monotonic() - t0
                 steps_taken += 1
                 if fault_plan is not None:
-                    fault_plan.mutate_state(stepper.f)
+                    # reading stepper.f can be a full gather (domain
+                    # engine), so only materialize it while an unfired
+                    # state-injection event still needs the target —
+                    # and tell the stepper about in-place mutations so
+                    # worker-resident copies of f re-sync
+                    if fault_plan.wants_state():
+                        if fault_plan.mutate_state(stepper.f):
+                            stepper.notify_f_mutated()
                     # A stall is simulated by inflating the measured
                     # wall clock — deterministic, and it exercises the
                     # stall guard without actually sleeping.

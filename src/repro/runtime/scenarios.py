@@ -132,6 +132,34 @@ class Stepper:
         """The particle component, or None."""
         return None
 
+    def _solver(self):
+        driver = getattr(self, "driver", None)
+        return getattr(driver, "solver", None)
+
+    def f_stats(self) -> tuple[int, float]:
+        """(non-finite cell count, min of f) — the guards' health probe.
+
+        Delegates to the driver's solver when it has a distributed
+        implementation (the domain adapter answers from worker partials
+        without gathering f); otherwise computes from :attr:`f` — the
+        two are exact under aggregation (summed counts, min of minima),
+        so guard decisions are engine-independent.
+        """
+        solver = self._solver()
+        if solver is not None and hasattr(solver, "f_stats"):
+            return solver.f_stats()
+        f = self.f
+        n_bad = int(f.size - np.count_nonzero(np.isfinite(f)))
+        return (n_bad, float(f.min()))
+
+    def notify_f_mutated(self) -> None:
+        """Tell the stepper :attr:`f` was mutated *in place* (fault
+        injection) so engines holding f elsewhere re-sync it."""
+        solver = self._solver()
+        notify = getattr(solver, "notify_f_mutated", None)
+        if notify is not None:
+            notify()
+
     def save(self, path: str | Path, timer=None) -> Path:
         """Write a restart checkpoint at the current state."""
         raise NotImplementedError
@@ -364,13 +392,27 @@ def build_stepper(config: RunConfig, timer=None, engine=None) -> Stepper:
 
 
 def build_engine(config: RunConfig):
-    """Build the configured :class:`~repro.perf.pencil.PencilEngine`.
+    """Build the configured advection engine.
 
-    Returns ``None`` for ``engine.backend = "off"`` (the drivers run
-    their plain serial kernels).  The caller owns the engine's lifetime
-    (``close()`` — the runner does this in its ``finally``).
+    ``engine.engine = "domain"`` yields a
+    :class:`~repro.parallel.domain.DomainEngine` (persistent
+    shared-memory domain workers); the default ``"pencil"`` yields a
+    :class:`~repro.perf.pencil.PencilEngine`, or ``None`` for
+    ``engine.backend = "off"`` (the drivers run their plain serial
+    kernels).  The caller owns the engine's lifetime (``close()`` — the
+    runner does this in its ``finally``).
     """
     e = config.engine
+    if e.engine == "domain":
+        from ..parallel.domain import DomainEngine
+
+        return DomainEngine(
+            topology=tuple(int(p) for p in e.topology) if e.topology else None,
+            n_workers=e.n_workers,
+            max_retries=e.max_retries,
+            backoff_base=e.backoff_base,
+            task_timeout=e.task_timeout,
+        )
     if e.backend == "off":
         return None
     from ..perf.pencil import PencilEngine

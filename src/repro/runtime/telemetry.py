@@ -298,6 +298,12 @@ def summarize(path: str | Path) -> dict:
     ``recoveries`` counts completed rollback restores.  When the run
     emitted ``layout_decision`` events, ``layout`` reports the packed
     sweep fraction and transpose traffic (paper §5.4's LAT analog).
+    When the run used the domain engine (any ``domain_*`` event or
+    ``domain/*`` timer section), ``domain`` rolls them up: halo
+    exchanges and bytes, gathers/scatters (residency violations when
+    nonzero mid-run), CFL and FFT fallbacks, worker failures and
+    degradations, and the cumulative seconds of the halo / interior /
+    boundary / fft phases.
 
     The stream is folded in a single line-by-line pass — full records
     are never accumulated — and a torn tail (SIGKILL mid-write, whether
@@ -312,6 +318,8 @@ def summarize(path: str | Path) -> dict:
     guard_events = 0
     by_kind: dict[str, int] = {}
     layout_sweeps = layout_packed = layout_bytes = 0
+    domain_halo_bytes = domain_halo_exchanges = 0
+    domain_sections: dict[str, float] = {}
     for r in iter_records(path):
         if "event" in r:
             by_kind[r["event"]] = by_kind.get(r["event"], 0) + 1
@@ -322,6 +330,9 @@ def summarize(path: str | Path) -> dict:
                 layout_sweeps += 1
                 layout_packed += r.get("mode") == "packed"
                 layout_bytes += int(r.get("bytes_moved", 0))
+            elif r["event"] == "domain_halo_exchange":
+                domain_halo_exchanges += 1
+                domain_halo_bytes += int(r.get("nbytes", 0))
             continue
         if not _is_complete_step(r):  # torn tail
             continue
@@ -334,6 +345,12 @@ def summarize(path: str | Path) -> dict:
             drift = row["drift"] if isinstance(row, dict) else row
             worst[key] = max(worst.get(key, 0.0), drift)
         guard_events += len(r["guards"])
+        for name, seconds in r["sections"].items():
+            if name.startswith("domain/"):
+                short = name.split("/", 1)[1]
+                domain_sections[short] = (
+                    domain_sections.get(short, 0.0) + float(seconds)
+                )
     layout = None
     if layout_sweeps:
         layout = {
@@ -342,6 +359,19 @@ def summarize(path: str | Path) -> dict:
             "packed_fraction": layout_packed / layout_sweeps,
             "bytes_moved": layout_bytes,
         }
+    domain = None
+    if domain_sections or any(k.startswith("domain_") for k in by_kind):
+        domain = {
+            "halo_exchanges": domain_halo_exchanges,
+            "halo_bytes": domain_halo_bytes,
+            "gathers": by_kind.get("domain_gather", 0),
+            "scatters": by_kind.get("domain_scatter", 0),
+            "cfl_fallbacks": by_kind.get("domain_cfl_fallback", 0),
+            "fft_fallbacks": by_kind.get("domain_fft_fallback", 0),
+            "worker_failures": by_kind.get("domain_worker_failure", 0),
+            "degradations": by_kind.get("domain_degraded", 0),
+            "section_seconds": domain_sections,
+        }
     if last is None:
         if not by_kind:
             return {"steps": 0}
@@ -349,6 +379,8 @@ def summarize(path: str | Path) -> dict:
                "recoveries": by_kind.get("rollback", 0)}
         if layout is not None:
             out["layout"] = layout
+        if domain is not None:
+            out["domain"] = domain
         return out
     summary = {
         "steps": steps,
@@ -368,4 +400,6 @@ def summarize(path: str | Path) -> dict:
         summary["recoveries"] = by_kind.get("rollback", 0)
         if layout is not None:
             summary["layout"] = layout
+    if domain is not None:
+        summary["domain"] = domain
     return summary
